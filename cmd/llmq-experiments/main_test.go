@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunFlagHandling(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Errorf("-list: %v", err)
+	}
+	if err := run([]string{"-scale", "bogus"}); err == nil {
+		t.Error("unknown scale should fail")
+	}
+	if err := run([]string{"-experiment", "bogus"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

@@ -1,0 +1,361 @@
+// Command llmq is the end-to-end tool for the query-driven LLM analytics
+// library: it generates synthetic datasets, trains models from query
+// workloads executed against the in-memory DBMS, and answers SQL-like
+// analytics statements either exactly or through a trained model.
+//
+// Typical session:
+//
+//	llmq generate -dataset R1 -n 20000 -dim 2 -o r1.csv
+//	llmq train -data r1.csv -a 0.25 -pairs 4000 -o model.json
+//	llmq query -data r1.csv -model model.json \
+//	    -sql "SELECT APPROX AVG(u) FROM r1 WITHIN 0.1 OF (0.5, 0.5)"
+//	llmq query -data r1.csv \
+//	    -sql "SELECT REGRESSION(u ON x1, x2) FROM r1 WITHIN 0.1 OF (0.5, 0.5)"
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"llmq/internal/core"
+	"llmq/internal/dataset"
+	"llmq/internal/engine"
+	"llmq/internal/exec"
+	"llmq/internal/sqlfront"
+	"llmq/internal/synth"
+	"llmq/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "llmq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		usage(out)
+		return errors.New("a subcommand is required")
+	}
+	switch args[0] {
+	case "generate":
+		return cmdGenerate(args[1:], out)
+	case "train":
+		return cmdTrain(args[1:], out)
+	case "query":
+		return cmdQuery(args[1:], out)
+	case "help", "-h", "--help":
+		usage(out)
+		return nil
+	default:
+		usage(out)
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage(out io.Writer) {
+	fmt.Fprint(out, `llmq - query-driven local linear models for in-DBMS analytics
+
+subcommands:
+  generate  generate a synthetic dataset (R1 sensor surrogate or R2 Rosenbrock) as CSV
+  train     execute a random query workload against the dataset and train an LLM model
+  query     answer a SQL-like analytics statement exactly or with a trained model
+`)
+}
+
+func cmdGenerate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	kind := fs.String("dataset", "R1", "dataset kind: R1 or R2")
+	n := fs.Int("n", 10000, "number of tuples")
+	dim := fs.Int("dim", 2, "input dimensionality")
+	seed := fs.Int64("seed", 1, "random seed")
+	output := fs.String("o", "", "output CSV path (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg synth.Config
+	switch strings.ToUpper(*kind) {
+	case "R1":
+		cfg = synth.R1Config(*n, *dim, *seed)
+	case "R2":
+		cfg = synth.R2Config(*n, *dim, *seed)
+	default:
+		return fmt.Errorf("unknown dataset kind %q", *kind)
+	}
+	pts, err := synth.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	ds, err := dataset.FromPoints(strings.ToUpper(*kind), pts.Xs, pts.Us)
+	if err != nil {
+		return err
+	}
+	w := out
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		return err
+	}
+	if *output != "" {
+		fmt.Fprintf(out, "wrote %d tuples (%d attributes + output) to %s\n", ds.Len(), ds.Dim(), *output)
+	}
+	return nil
+}
+
+// loadExecutor loads a CSV dataset into the in-memory engine and builds a
+// grid-indexed executor over it.
+func loadExecutor(path string, cellSize float64) (*exec.Executor, *dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(strings.ToLower(strings.TrimSuffix(path, ".csv")), "/")
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	ds, err := dataset.ReadCSV(name, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	cat := engine.NewCatalog()
+	tab, err := cat.LoadDataset(name, ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cellSize <= 0 {
+		b, err := ds.Bounds()
+		if err != nil {
+			return nil, nil, err
+		}
+		span := 0.0
+		for j := range b.InputMax {
+			span += b.InputMax[j] - b.InputMin[j]
+		}
+		cellSize = span / float64(ds.Dim()) / 10
+		if cellSize <= 0 {
+			cellSize = 1
+		}
+	}
+	e, err := exec.NewExecutorWithGrid(tab, ds.InputNames, ds.OutputName, cellSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, ds, nil
+}
+
+func cmdTrain(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	data := fs.String("data", "", "input dataset CSV (required)")
+	a := fs.Float64("a", 0.25, "quantization coefficient a in (0,1]")
+	gamma := fs.Float64("gamma", 0.01, "convergence threshold γ")
+	pairs := fs.Int("pairs", 5000, "maximum number of training query/answer pairs")
+	thetaMean := fs.Float64("theta", 0, "mean query radius µθ (default: 10% of the average attribute range)")
+	seed := fs.Int64("seed", 1, "random seed for the query workload")
+	output := fs.String("o", "model.json", "output model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return errors.New("train: -data is required")
+	}
+	e, ds, err := loadExecutor(*data, 0)
+	if err != nil {
+		return err
+	}
+	b, err := ds.Bounds()
+	if err != nil {
+		return err
+	}
+	lo, hi, span := b.InputMin[0], b.InputMax[0], 0.0
+	for j := range b.InputMax {
+		if b.InputMin[j] < lo {
+			lo = b.InputMin[j]
+		}
+		if b.InputMax[j] > hi {
+			hi = b.InputMax[j]
+		}
+		span += b.InputMax[j] - b.InputMin[j]
+	}
+	span /= float64(ds.Dim())
+	theta := *thetaMean
+	if theta <= 0 {
+		theta = span / 10
+	}
+	gen, err := workload.NewGenerator(workload.GenConfig{
+		Dim:         ds.Dim(),
+		CenterLo:    lo,
+		CenterHi:    hi,
+		ThetaMean:   theta,
+		ThetaStdDev: theta / 4,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+	h, err := workload.NewHarness(e, gen)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(ds.Dim())
+	cfg.ResolutionA = *a
+	cfg.Gamma = *gamma
+	cfg.Vigilance = *a * (span*sqrtDim(ds.Dim()) + theta)
+	start := time.Now()
+	m, res, trainPairs, err := h.TrainModel(cfg, *pairs)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*output)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trained on %d query/answer pairs in %v: K=%d prototypes, converged=%v (Γ=%.4g)\n",
+		len(trainPairs), time.Since(start).Round(time.Millisecond), res.K, res.Converged, res.FinalGamma)
+	fmt.Fprintf(out, "model written to %s\n", *output)
+	return nil
+}
+
+func sqrtDim(d int) float64 {
+	s := 1.0
+	for i := 0; i < 20; i++ {
+		s = 0.5 * (s + float64(d)/s)
+	}
+	return s
+}
+
+func cmdQuery(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	data := fs.String("data", "", "dataset CSV backing the relation (required)")
+	modelPath := fs.String("model", "", "trained model JSON (required for APPROX statements)")
+	sql := fs.String("sql", "", "analytics statement to execute (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" || *sql == "" {
+		return errors.New("query: -data and -sql are required")
+	}
+	stmt, err := sqlfront.Parse(*sql)
+	if err != nil {
+		return err
+	}
+	e, ds, err := loadExecutor(*data, 0)
+	if err != nil {
+		return err
+	}
+	if len(stmt.Center) != ds.Dim() {
+		return fmt.Errorf("query centre has %d coordinates, relation has %d input attributes", len(stmt.Center), ds.Dim())
+	}
+	var model *core.Model
+	if stmt.Approx {
+		if *modelPath == "" {
+			return errors.New("query: APPROX statements need -model")
+		}
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		model, err = core.Load(f)
+		if err != nil {
+			return err
+		}
+		if model.K() == 0 {
+			return errors.New("query: the loaded model has no prototypes")
+		}
+	}
+	return executeStatement(out, stmt, e, model)
+}
+
+func executeStatement(out io.Writer, stmt *sqlfront.Statement, e *exec.Executor, model *core.Model) error {
+	rq := exec.RadiusQuery{Center: stmt.Center, Theta: stmt.Theta, P: stmt.Norm}
+	switch stmt.Kind {
+	case sqlfront.StmtMean:
+		if stmt.Approx {
+			q, err := core.NewQuery(stmt.Center, stmt.Theta)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			yhat, err := model.PredictMean(q)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "approx AVG(%s) = %.6g   [model, %v, no data access]\n",
+				stmt.Output, yhat, time.Since(start).Round(time.Microsecond))
+			return nil
+		}
+		res, err := e.Mean(rq)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "AVG(%s) = %.6g   [exact over %d tuples, %v]\n", stmt.Output, res.Mean, res.Count, res.Elapsed.Round(time.Microsecond))
+		return nil
+	case sqlfront.StmtRegression:
+		if stmt.Approx {
+			q, err := core.NewQuery(stmt.Center, stmt.Theta)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			locals, err := model.Regression(q)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "approx REGRESSION(%s): %d local linear model(s) [model, %v, no data access]\n",
+				stmt.Output, len(locals), time.Since(start).Round(time.Microsecond))
+			for i, lm := range locals {
+				fmt.Fprintf(out, "  S[%d] (weight %.3f, around %s, θ=%.3g): %s\n", i, lm.Weight, lm.Center, lm.Theta, lm)
+			}
+			return nil
+		}
+		res, err := e.Regression(rq)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "REGRESSION(%s) over %d tuples [%v]: intercept=%.6g slope=%v  (FVU=%.4g, R²=%.4g)\n",
+			stmt.Output, res.Count, res.Elapsed.Round(time.Microsecond), res.Intercept, res.Slope, res.FVU, res.CoD)
+		return nil
+	case sqlfront.StmtValue:
+		if len(stmt.At) != len(stmt.Center) {
+			return fmt.Errorf("AT point has %d coordinates, centre has %d", len(stmt.At), len(stmt.Center))
+		}
+		if stmt.Approx {
+			q, err := core.NewQuery(stmt.Center, stmt.Theta)
+			if err != nil {
+				return err
+			}
+			uhat, err := model.PredictValue(q, stmt.At)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "approx VALUE(%s) at %v = %.6g   [model, no data access]\n", stmt.Output, stmt.At, uhat)
+			return nil
+		}
+		res, err := e.Regression(rq)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "VALUE(%s) at %v ≈ %.6g   [exact local regression over %d tuples]\n",
+			stmt.Output, stmt.At, res.Predict(stmt.At), res.Count)
+		return nil
+	default:
+		return fmt.Errorf("unsupported statement kind %v", stmt.Kind)
+	}
+}

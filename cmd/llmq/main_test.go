@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUsageAndUnknownSubcommand(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("empty args should error")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Error("unknown subcommand should error")
+	}
+	if err := run([]string{"help"}, &out); err != nil {
+		t.Errorf("help: %v", err)
+	}
+	if !strings.Contains(out.String(), "subcommands") {
+		t.Error("usage text missing")
+	}
+}
+
+func TestGenerateTrainQueryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "r1.csv")
+	model := filepath.Join(dir, "model.json")
+	var out bytes.Buffer
+
+	// Generate a small R1 dataset.
+	if err := run([]string{"generate", "-dataset", "R1", "-n", "4000", "-dim", "2", "-seed", "3", "-o", data}, &out); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if _, err := os.Stat(data); err != nil {
+		t.Fatalf("dataset not written: %v", err)
+	}
+
+	// Train a model on a modest workload.
+	out.Reset()
+	if err := run([]string{"train", "-data", data, "-a", "0.2", "-pairs", "1500", "-o", model}, &out); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if !strings.Contains(out.String(), "prototypes") {
+		t.Errorf("train output: %q", out.String())
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+
+	// Exact mean query.
+	out.Reset()
+	if err := run([]string{"query", "-data", data, "-sql", "SELECT AVG(u) FROM r1 WITHIN 0.2 OF (0.5, 0.5)"}, &out); err != nil {
+		t.Fatalf("exact query: %v", err)
+	}
+	if !strings.Contains(out.String(), "exact over") {
+		t.Errorf("exact query output: %q", out.String())
+	}
+
+	// Approximate mean query through the model.
+	out.Reset()
+	if err := run([]string{"query", "-data", data, "-model", model, "-sql", "SELECT APPROX AVG(u) FROM r1 WITHIN 0.2 OF (0.5, 0.5)"}, &out); err != nil {
+		t.Fatalf("approx query: %v", err)
+	}
+	if !strings.Contains(out.String(), "no data access") {
+		t.Errorf("approx query output: %q", out.String())
+	}
+
+	// Exact and approximate regression queries.
+	out.Reset()
+	if err := run([]string{"query", "-data", data, "-sql", "SELECT REGRESSION(u ON x1, x2) FROM r1 WITHIN 0.2 OF (0.5, 0.5)"}, &out); err != nil {
+		t.Fatalf("exact regression: %v", err)
+	}
+	if !strings.Contains(out.String(), "intercept=") {
+		t.Errorf("regression output: %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"query", "-data", data, "-model", model, "-sql", "SELECT APPROX REGRESSION(u) FROM r1 WITHIN 0.2 OF (0.5, 0.5)"}, &out); err != nil {
+		t.Fatalf("approx regression: %v", err)
+	}
+	if !strings.Contains(out.String(), "local linear model") {
+		t.Errorf("approx regression output: %q", out.String())
+	}
+
+	// Data-value prediction, both paths.
+	out.Reset()
+	if err := run([]string{"query", "-data", data, "-model", model, "-sql", "SELECT APPROX VALUE(u) FROM r1 AT (0.5, 0.5) WITHIN 0.2 OF (0.5, 0.5)"}, &out); err != nil {
+		t.Fatalf("approx value: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"query", "-data", data, "-sql", "SELECT VALUE(u) FROM r1 AT (0.5, 0.5) WITHIN 0.2 OF (0.5, 0.5)"}, &out); err != nil {
+		t.Fatalf("exact value: %v", err)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "r1.csv")
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-n", "500", "-dim", "2", "-o", data}, &out); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"query", "-sql", "SELECT AVG(u) FROM t WITHIN 1 OF (0, 0)"},                      // missing data
+		{"query", "-data", data},                                                          // missing sql
+		{"query", "-data", data, "-sql", "NOT SQL"},                                       // parse error
+		{"query", "-data", data, "-sql", "SELECT APPROX AVG(u) FROM t WITHIN 1 OF (0,0)"}, // approx without model
+		{"query", "-data", data, "-sql", "SELECT AVG(u) FROM t WITHIN 1 OF (0)"},          // wrong centre dim
+		{"train"},                       // missing data
+		{"train", "-data", "/nope.csv"}, // unreadable data
+		{"generate", "-dataset", "XX"},  // unknown dataset
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestGenerateToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-dataset", "R2", "-n", "50", "-dim", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 51 { // header + 50 rows
+		t.Errorf("stdout CSV has %d lines", len(lines))
+	}
+}
+
+func TestSqrtDim(t *testing.T) {
+	if got := sqrtDim(4); got < 1.999 || got > 2.001 {
+		t.Errorf("sqrtDim(4) = %v", got)
+	}
+}

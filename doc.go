@@ -1,0 +1,20 @@
+// Package llmq is a Go reproduction of "Efficient Scalable Accurate
+// Regression Queries in In-DBMS Analytics" (Anagnostopoulos & Triantafillou,
+// ICDE 2017): a query-driven Local Linear Mapping (LLM) model that learns
+// from executed mean-value and regression analytics queries and then answers
+// unseen queries — and describes the local linear structure of the data —
+// without accessing the underlying DBMS.
+//
+// The implementation lives under internal/: the core model in internal/core,
+// the in-memory DBMS substrate in internal/engine + internal/index +
+// internal/exec, the SQL-like front-end in internal/sqlfront, the REG/PLR
+// baselines in internal/linalg and internal/plr, the workload and evaluation
+// harness in internal/workload, and the paper's figures in
+// internal/experiments. The runnable entry points are cmd/llmq,
+// cmd/llmq-experiments and the programs under examples/.
+//
+// The benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation at a reduced scale; run them with
+//
+//	go test -bench=. -benchmem
+package llmq

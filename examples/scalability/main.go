@@ -1,0 +1,78 @@
+// Scalability: how query latency behaves as the relation grows.
+//
+// The paper's headline efficiency result (Figure 12) is that after training,
+// the model answers Q1/Q2 queries in sub-millisecond time regardless of the
+// dataset size, while exact in-DBMS execution grows with the data. This
+// example sweeps the dataset size on the Rosenbrock (R2) workload and prints
+// the per-query latency of both paths.
+//
+// Run with:
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llmq/internal/core"
+	"llmq/internal/dataset"
+	"llmq/internal/engine"
+	"llmq/internal/exec"
+	"llmq/internal/synth"
+	"llmq/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const dim = 2
+	fmt.Printf("%-12s  %-14s  %-14s  %-10s\n", "#tuples", "LLM (per Q1)", "exact (per Q1)", "speedup")
+	for _, n := range []int{20000, 80000, 320000} {
+		pts, err := synth.Generate(synth.R2Config(n, dim, 5))
+		if err != nil {
+			return err
+		}
+		ds, err := dataset.FromPoints("rosenbrock", pts.Xs, pts.Us)
+		if err != nil {
+			return err
+		}
+		catalog := engine.NewCatalog()
+		table, err := catalog.LoadDataset("rosenbrock", ds)
+		if err != nil {
+			return err
+		}
+		executor, err := exec.NewExecutorWithGrid(table, ds.InputNames, ds.OutputName, 1.0)
+		if err != nil {
+			return err
+		}
+		generator, err := workload.NewGenerator(workload.GenConfig{
+			Dim: dim, CenterLo: -10, CenterHi: 10, ThetaMean: 1.5, ThetaStdDev: 0.25, Seed: 9,
+		})
+		if err != nil {
+			return err
+		}
+		harness, err := workload.NewHarness(executor, generator)
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig(dim)
+		cfg.Vigilance = 0.25 * (20*1.42 + 3) // a = 0.25 scaled to the [-10,10] attribute range
+		model, _, _, err := harness.TrainModel(cfg, 2500)
+		if err != nil {
+			return err
+		}
+		eval, err := harness.EvaluateQ1(model, harness.Gen.Queries(200))
+		if err != nil {
+			return err
+		}
+		speedup := float64(eval.ExactTime) / float64(eval.ModelTime)
+		fmt.Printf("%-12d  %-14v  %-14v  %.0fx\n", n, eval.ModelTime, eval.ExactTime, speedup)
+	}
+	fmt.Println("\nthe model's latency stays flat while exact execution grows with the relation size")
+	return nil
+}

@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"llmq/internal/vector"
+)
+
+// Solver selects how the per-prototype LLM coefficients (y_k, b_k) are
+// estimated from the stream of winning pairs. Both solvers minimize the same
+// conditional EPE objective H of Eq. (8).
+type Solver int
+
+const (
+	// SolverRLS estimates the coefficients with per-prototype recursive
+	// least squares: the exact sequential solution of the local EPE, at
+	// O((d+2)²) state per prototype. It is the library default because the
+	// first-order SGD rule needs far more queries than a typical training
+	// stream provides before the local slopes converge.
+	SolverRLS Solver = iota
+	// SolverSGD applies the paper's Theorem 4 update rule verbatim
+	// (first-order SGD with the configured learning-rate schedule).
+	SolverSGD
+)
+
+// String names the solver.
+func (s Solver) String() string {
+	switch s {
+	case SolverRLS:
+		return "rls"
+	case SolverSGD:
+		return "sgd"
+	default:
+		return "unknown"
+	}
+}
+
+// Config configures an LLM model.
+type Config struct {
+	// Dim is the input dimensionality d (query vectors live in R^(d+1)).
+	Dim int
+	// ResolutionA is the quantization coefficient a ∈ (0, 1] from which the
+	// vigilance ρ = a(√d + 1) is derived (Section IV). The paper's default
+	// is 0.25.
+	ResolutionA float64
+	// Vigilance overrides the derived ρ when positive; leave at 0 to use
+	// ResolutionA.
+	Vigilance float64
+	// Gamma is the convergence threshold γ for the training termination
+	// criterion Γ = max(Γ^J, Γ^H) ≤ γ. The paper's default is 0.01.
+	Gamma float64
+	// Schedule is the SGD learning-rate schedule; nil selects the paper's
+	// hyperbolic schedule η_t = 1/(t+1).
+	Schedule Schedule
+	// InitInterceptWithAnswer controls how a newly spawned prototype's local
+	// intercept y_K is initialized. The paper's Algorithm 1 initializes it to
+	// zero; initializing with the observed answer (the default here) is a
+	// conservative refinement that speeds convergence with a decaying global
+	// learning rate and is recorded as a substitution in DESIGN.md. Set to
+	// false for strict paper behaviour.
+	InitInterceptWithAnswer bool
+	// RateByPrototype applies the learning-rate schedule to each prototype's
+	// own win count instead of the global step counter. The paper states a
+	// single global schedule η_t = 1/(t+1); with a growing prototype set that
+	// starves prototypes spawned late in the stream, so the default here
+	// (set by DefaultConfig) is the standard per-prototype AVQ schedule.
+	// Both satisfy the Robbins–Monro conditions; the difference is measured
+	// by the learning-rate ablation benchmark.
+	RateByPrototype bool
+	// CoefficientSolver selects how the LLM coefficients are learned; see
+	// Solver. The zero value is SolverRLS.
+	CoefficientSolver Solver
+	// MinGammaSteps is the minimum number of training pairs consumed before
+	// the termination criterion may fire (the criterion is meaningless while
+	// K is still growing from a cold start). Values <= 0 default to 100.
+	MinGammaSteps int
+	// ConvergenceWindow is the number of consecutive steps for which
+	// Γ ≤ γ must hold before training terminates. A single SGD step can have
+	// an arbitrarily small parameter change simply because its residual was
+	// small, so requiring a run of quiet steps makes the stopping rule a
+	// faithful, robust reading of the paper's "Γ is (stochastically) trapped"
+	// observation. Values <= 0 default to 25.
+	ConvergenceWindow int
+}
+
+// DefaultConfig returns the paper's default parameters for input
+// dimensionality d: a = 0.25, γ = 0.01, hyperbolic learning rate.
+func DefaultConfig(dim int) Config {
+	return Config{
+		Dim:                     dim,
+		ResolutionA:             0.25,
+		Gamma:                   0.01,
+		Schedule:                Hyperbolic{},
+		InitInterceptWithAnswer: true,
+		RateByPrototype:         true,
+	}
+}
+
+// validate normalizes and checks the configuration.
+func (c Config) validate() (Config, error) {
+	if c.Dim <= 0 {
+		return c, fmt.Errorf("%w: Dim must be positive, got %d", ErrBadConfig, c.Dim)
+	}
+	if c.Vigilance <= 0 {
+		if c.ResolutionA <= 0 || c.ResolutionA > 1 {
+			return c, fmt.Errorf("%w: ResolutionA %v outside (0,1]", ErrBadConfig, c.ResolutionA)
+		}
+		c.Vigilance = c.ResolutionA * (math.Sqrt(float64(c.Dim)) + 1)
+	}
+	if c.Gamma <= 0 {
+		return c, fmt.Errorf("%w: Gamma must be positive, got %v", ErrBadConfig, c.Gamma)
+	}
+	if c.Schedule == nil {
+		c.Schedule = Hyperbolic{}
+	}
+	if c.MinGammaSteps <= 0 {
+		c.MinGammaSteps = 100
+	}
+	if c.ConvergenceWindow <= 0 {
+		c.ConvergenceWindow = 25
+	}
+	return c, nil
+}
+
+// Model is the trained (or in-training) query-driven LLM model.
+type Model struct {
+	cfg        Config
+	llms       []*LLM
+	steps      int     // training pairs consumed
+	converged  bool    // termination criterion reached
+	lastGamma  float64 // most recent Γ value
+	quietSteps int     // consecutive steps with Γ ≤ γ
+}
+
+// TrainingPair is one observed (query, answer) pair from the stream T.
+type TrainingPair struct {
+	Query  Query
+	Answer float64
+}
+
+// StepInfo reports what one training step did; the experiment harness uses
+// the Γ trace to reproduce Figure 6.
+type StepInfo struct {
+	// Step is the 1-based index of the consumed pair.
+	Step int
+	// Winner is the prototype index that absorbed the pair.
+	Winner int
+	// Created is true when the pair spawned a new prototype.
+	Created bool
+	// GammaJ and GammaH are the per-step parameter drifts of the
+	// quantization and regression parameters.
+	GammaJ float64
+	GammaH float64
+	// Gamma is max(GammaJ, GammaH).
+	Gamma float64
+	// K is the number of prototypes after the step.
+	K int
+	// Converged is true once the termination criterion has fired.
+	Converged bool
+}
+
+// NewModel creates an untrained model.
+func NewModel(cfg Config) (*Model, error) {
+	c, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	return &Model{cfg: c}, nil
+}
+
+// Config returns the normalized configuration (with the derived vigilance).
+func (m *Model) Config() Config { return m.cfg }
+
+// K returns the current number of prototypes/LLMs.
+func (m *Model) K() int { return len(m.llms) }
+
+// Steps returns how many training pairs the model has consumed.
+func (m *Model) Steps() int { return m.steps }
+
+// Converged reports whether the termination criterion has fired.
+func (m *Model) Converged() bool { return m.converged }
+
+// LastGamma returns the most recent value of the termination criterion Γ.
+func (m *Model) LastGamma() float64 { return m.lastGamma }
+
+// LLMs returns deep copies of the trained local linear mappings.
+func (m *Model) LLMs() []*LLM {
+	out := make([]*LLM, len(m.llms))
+	for i, l := range m.llms {
+		out[i] = l.clone()
+	}
+	return out
+}
+
+// Observe consumes one training pair, applying the joint AVQ/SGD update of
+// Theorem 4, and reports the step outcome. After the model has converged
+// further observations are ignored (Algorithm 1 freezes the parameter set α).
+func (m *Model) Observe(q Query, answer float64) (StepInfo, error) {
+	if q.Dim() != m.cfg.Dim {
+		return StepInfo{}, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), m.cfg.Dim)
+	}
+	if math.IsNaN(answer) || math.IsInf(answer, 0) {
+		return StepInfo{}, fmt.Errorf("core: non-finite training answer %v", answer)
+	}
+	if m.converged {
+		return StepInfo{
+			Step: m.steps, Gamma: m.lastGamma, GammaJ: 0, GammaH: 0,
+			K: len(m.llms), Converged: true,
+		}, nil
+	}
+	m.steps++
+	info := StepInfo{Step: m.steps, K: len(m.llms)}
+
+	// Cold start: the first pair becomes prototype w_1.
+	if len(m.llms) == 0 {
+		m.llms = append(m.llms, newLLM(q, m.initIntercept(answer)))
+		info.Created = true
+		info.Winner = 0
+		info.K = 1
+		info.Gamma = math.Inf(1)
+		info.GammaJ = math.Inf(1)
+		info.GammaH = math.Inf(1)
+		m.lastGamma = info.Gamma
+		m.quietSteps = 0
+		return info, nil
+	}
+
+	// Find the winning prototype under the query-space L2 distance.
+	winner, dist := m.winner(q)
+	rateStep := m.steps
+	if m.cfg.RateByPrototype {
+		rateStep = m.llms[winner].Wins
+	}
+	eta := m.cfg.Schedule.Rate(rateStep)
+
+	if dist > m.cfg.Vigilance {
+		// Spawn a new prototype at the query (Algorithm 1, else branch).
+		m.llms = append(m.llms, newLLM(q, m.initIntercept(answer)))
+		info.Created = true
+		info.Winner = len(m.llms) - 1
+		info.K = len(m.llms)
+		// A growth step changes the parameter-set cardinality; Γ is reported
+		// as +Inf so the criterion cannot fire while K is still growing.
+		info.Gamma = math.Inf(1)
+		info.GammaJ = math.Inf(1)
+		info.GammaH = math.Inf(1)
+		m.lastGamma = info.Gamma
+		m.quietSteps = 0
+		return info, nil
+	}
+
+	// Joint SGD update of the winner (Theorem 4). All three update rules use
+	// the displacement (q − w_j) of the pre-update prototype.
+	l := m.llms[winner]
+	residual := l.Residual(q.Center, q.Theta, answer)
+	diffX := q.Center.Sub(l.CenterPrototype)
+	diffTheta := q.Theta - l.ThetaPrototype
+
+	var gammaJ, gammaH float64
+	// Δw_j = η (q − w_j): move the prototype toward the query.
+	for i := range l.CenterPrototype {
+		d := eta * diffX[i]
+		l.CenterPrototype[i] += d
+		gammaJ += d * d
+	}
+	dTheta := eta * diffTheta
+	l.ThetaPrototype += dTheta
+	gammaJ += dTheta * dTheta
+	gammaJ = math.Sqrt(gammaJ)
+
+	switch m.cfg.CoefficientSolver {
+	case SolverSGD:
+		// Δb_j = η·residual·(q − w_j).
+		var db float64
+		for i := range l.SlopeX {
+			d := eta * residual * diffX[i]
+			l.SlopeX[i] += d
+			db += d * d
+		}
+		dbTheta := eta * residual * diffTheta
+		l.SlopeTheta += dbTheta
+		db += dbTheta * dbTheta
+		// Δy_j = η·residual.
+		dy := eta * residual
+		l.Intercept += dy
+		gammaH = math.Sqrt(db) + math.Abs(dy)
+	default: // SolverRLS
+		z := make([]float64, q.Dim()+2)
+		z[0] = 1
+		copy(z[1:], diffX)
+		z[len(z)-1] = diffTheta
+		gammaH = l.rlsUpdate(z, residual)
+	}
+
+	l.Wins++
+	info.Winner = winner
+	info.GammaJ = gammaJ
+	info.GammaH = gammaH
+	info.Gamma = math.Max(gammaJ, gammaH)
+	info.K = len(m.llms)
+	m.lastGamma = info.Gamma
+
+	if info.Gamma <= m.cfg.Gamma {
+		m.quietSteps++
+	} else {
+		m.quietSteps = 0
+	}
+	if m.steps >= m.cfg.MinGammaSteps && m.quietSteps >= m.cfg.ConvergenceWindow {
+		m.converged = true
+		info.Converged = true
+	}
+	return info, nil
+}
+
+func (m *Model) initIntercept(answer float64) float64 {
+	if m.cfg.InitInterceptWithAnswer {
+		return answer
+	}
+	return 0
+}
+
+// winner returns the index of the prototype closest to q in the query space
+// and the distance to it. The model must be non-empty.
+func (m *Model) winner(q Query) (int, float64) {
+	best, bestDist := 0, math.Inf(1)
+	for k, l := range m.llms {
+		d := math.Sqrt(vector.SqDistance(q.Center, l.CenterPrototype) +
+			(q.Theta-l.ThetaPrototype)*(q.Theta-l.ThetaPrototype))
+		if d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best, bestDist
+}
+
+// TrainingResult summarizes a Train run.
+type TrainingResult struct {
+	// Steps is the number of pairs consumed.
+	Steps int
+	// K is the final number of prototypes.
+	K int
+	// Converged is true when the termination criterion fired before the
+	// stream was exhausted.
+	Converged bool
+	// FinalGamma is the last Γ value observed.
+	FinalGamma float64
+	// GammaTrace holds Γ after every step (Figure 6's y-axis).
+	GammaTrace []float64
+}
+
+// Train consumes pairs in order until the termination criterion fires or the
+// stream is exhausted (Algorithm 1).
+func (m *Model) Train(pairs []TrainingPair) (TrainingResult, error) {
+	res := TrainingResult{GammaTrace: make([]float64, 0, len(pairs))}
+	for _, p := range pairs {
+		info, err := m.Observe(p.Query, p.Answer)
+		if err != nil {
+			return res, err
+		}
+		res.GammaTrace = append(res.GammaTrace, info.Gamma)
+		if info.Converged {
+			break
+		}
+	}
+	res.Steps = m.steps
+	res.K = len(m.llms)
+	res.Converged = m.converged
+	res.FinalGamma = m.lastGamma
+	return res, nil
+}
+
+// overlapSet returns the indices of prototypes whose data subspaces overlap
+// the query (the neighbourhood W(q) of Eq. 10) together with the
+// corresponding normalized weights δ̃.
+func (m *Model) overlapSet(q Query) (idx []int, weights []float64) {
+	var total float64
+	for k, l := range m.llms {
+		deg := q.OverlapDegree(l.PrototypeQuery())
+		if deg > 0 {
+			idx = append(idx, k)
+			weights = append(weights, deg)
+			total += deg
+		}
+	}
+	if total > 0 {
+		for i := range weights {
+			weights[i] /= total
+		}
+	}
+	return idx, weights
+}
+
+// PredictMean answers a Q1 mean-value query (Algorithm 2): the predicted
+// average of the output attribute over D(x, θ), computed purely from the
+// trained LLMs without data access.
+func (m *Model) PredictMean(q Query) (float64, error) {
+	if len(m.llms) == 0 {
+		return 0, ErrNotTrained
+	}
+	if q.Dim() != m.cfg.Dim {
+		return 0, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), m.cfg.Dim)
+	}
+	idx, weights := m.overlapSet(q)
+	if len(idx) == 0 {
+		// Extrapolate from the closest prototype.
+		w, _ := m.winner(q)
+		return m.llms[w].Eval(q.Center, q.Theta), nil
+	}
+	var yhat float64
+	for i, k := range idx {
+		yhat += weights[i] * m.llms[k].Eval(q.Center, q.Theta)
+	}
+	return yhat, nil
+}
+
+// Regression answers a Q2 linear-regression query (Algorithm 3): the list S
+// of local linear models (intercept, slope) that approximate the data
+// function g over D(x, θ). Overlapping prototypes contribute one model each;
+// when no prototype overlaps, the closest prototype's model is returned by
+// extrapolation (Case 3).
+func (m *Model) Regression(q Query) ([]LocalLinear, error) {
+	if len(m.llms) == 0 {
+		return nil, ErrNotTrained
+	}
+	if q.Dim() != m.cfg.Dim {
+		return nil, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), m.cfg.Dim)
+	}
+	idx, weights := m.overlapSet(q)
+	if len(idx) == 0 {
+		w, _ := m.winner(q)
+		model := m.llms[w].DataModel()
+		model.Weight = 0
+		return []LocalLinear{model}, nil
+	}
+	out := make([]LocalLinear, 0, len(idx))
+	for i, k := range idx {
+		model := m.llms[k].DataModel()
+		model.Weight = weights[i]
+		out = append(out, model)
+	}
+	return out, nil
+}
+
+// PredictValue predicts the data value û ≈ g(x) for a point x inside the
+// subspace addressed by the query q = [x0, θ] (Eq. 14): the overlap-weighted
+// fusion of the neighbouring LLMs evaluated at their own prototype radii.
+func (m *Model) PredictValue(q Query, x []float64) (float64, error) {
+	if len(m.llms) == 0 {
+		return 0, ErrNotTrained
+	}
+	if q.Dim() != m.cfg.Dim || len(x) != m.cfg.Dim {
+		return 0, fmt.Errorf("%w: query dim %d, point dim %d, model dim %d", ErrDimension, q.Dim(), len(x), m.cfg.Dim)
+	}
+	xv := vector.Vec(x)
+	idx, weights := m.overlapSet(q)
+	if len(idx) == 0 {
+		w, _ := m.winner(q)
+		return m.llms[w].EvalAtPrototypeRadius(xv), nil
+	}
+	var uhat float64
+	for i, k := range idx {
+		uhat += weights[i] * m.llms[k].EvalAtPrototypeRadius(xv)
+	}
+	return uhat, nil
+}
+
+// PredictValueAt is a convenience wrapper for predicting g(x) with the query
+// centred at x itself and the given radius.
+func (m *Model) PredictValueAt(x []float64, theta float64) (float64, error) {
+	q, err := NewQuery(x, theta)
+	if err != nil {
+		return 0, err
+	}
+	return m.PredictValue(q, x)
+}
+
+// Neighborhood exposes the overlap set W(q) for diagnostics: the prototype
+// queries that overlap q and their normalized weights.
+func (m *Model) Neighborhood(q Query) ([]Query, []float64, error) {
+	if len(m.llms) == 0 {
+		return nil, nil, ErrNotTrained
+	}
+	if q.Dim() != m.cfg.Dim {
+		return nil, nil, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), m.cfg.Dim)
+	}
+	idx, weights := m.overlapSet(q)
+	qs := make([]Query, len(idx))
+	for i, k := range idx {
+		qs[i] = m.llms[k].PrototypeQuery()
+	}
+	return qs, weights, nil
+}

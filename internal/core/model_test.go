@@ -1,0 +1,687 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"llmq/internal/vector"
+)
+
+// planeStream generates training pairs whose answers come from a linear
+// regression function of the query: y = b0 + bx·x + bθ·θ. An LLM model must
+// learn this exactly (a single linear mapping suffices).
+func planeStream(n, dim int, b0 float64, bx []float64, btheta float64, seed int64) []TrainingPair {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]TrainingPair, n)
+	for i := 0; i < n; i++ {
+		center := make([]float64, dim)
+		for j := range center {
+			center[j] = rng.Float64()
+		}
+		theta := 0.05 + 0.1*rng.Float64()
+		y := b0 + btheta*theta
+		for j := range center {
+			y += bx[j] * center[j]
+		}
+		pairs[i] = TrainingPair{Query: Query{Center: vector.Of(center...), Theta: theta}, Answer: y}
+	}
+	return pairs
+}
+
+// surfaceStream generates training pairs from an arbitrary answer surface
+// y = f(x, θ).
+func surfaceStream(n, dim int, f func(x []float64, theta float64) float64, seed int64) []TrainingPair {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]TrainingPair, n)
+	for i := 0; i < n; i++ {
+		center := make([]float64, dim)
+		for j := range center {
+			center[j] = rng.Float64()
+		}
+		theta := 0.05 + 0.1*rng.Float64()
+		pairs[i] = TrainingPair{
+			Query:  Query{Center: vector.Of(center...), Theta: theta},
+			Answer: f(center, theta),
+		}
+	}
+	return pairs
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(3)
+	if cfg.Dim != 3 || cfg.ResolutionA != 0.25 || cfg.Gamma != 0.01 {
+		t.Errorf("DefaultConfig = %+v", cfg)
+	}
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVig := 0.25 * (math.Sqrt(3) + 1)
+	if math.Abs(m.Config().Vigilance-wantVig) > 1e-12 {
+		t.Errorf("derived vigilance = %v, want %v", m.Config().Vigilance, wantVig)
+	}
+	if m.Config().Schedule == nil || m.Config().MinGammaSteps != 100 {
+		t.Errorf("normalized config = %+v", m.Config())
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	cases := []Config{
+		{Dim: 0, ResolutionA: 0.25, Gamma: 0.01},
+		{Dim: 2, ResolutionA: 0, Gamma: 0.01},
+		{Dim: 2, ResolutionA: 1.5, Gamma: 0.01},
+		{Dim: 2, ResolutionA: 0.25, Gamma: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := NewModel(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+	// Explicit vigilance bypasses ResolutionA validation.
+	if _, err := NewModel(Config{Dim: 2, Vigilance: 0.7, Gamma: 0.01}); err != nil {
+		t.Errorf("explicit vigilance rejected: %v", err)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	m, _ := NewModel(DefaultConfig(2))
+	if _, err := m.Observe(Query{Center: vector.Of(1), Theta: 0.1}, 1); !errors.Is(err, ErrDimension) {
+		t.Errorf("dim err = %v", err)
+	}
+	if _, err := m.Observe(Query{Center: vector.Of(1, 2), Theta: 0.1}, math.NaN()); err == nil {
+		t.Error("NaN answer accepted")
+	}
+	if _, err := m.Observe(Query{Center: vector.Of(1, 2), Theta: 0.1}, math.Inf(1)); err == nil {
+		t.Error("Inf answer accepted")
+	}
+}
+
+func TestFirstObservationCreatesPrototype(t *testing.T) {
+	m, _ := NewModel(DefaultConfig(2))
+	info, err := m.Observe(Query{Center: vector.Of(0.5, 0.5), Theta: 0.1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Created || info.Winner != 0 || m.K() != 1 || m.Steps() != 1 {
+		t.Errorf("info = %+v, K=%d", info, m.K())
+	}
+	llm := m.LLMs()[0]
+	if llm.Intercept != 3 {
+		t.Errorf("intercept initialized to %v, want the observed answer 3", llm.Intercept)
+	}
+	if !llm.CenterPrototype.Equal(vector.Of(0.5, 0.5)) || llm.ThetaPrototype != 0.1 {
+		t.Errorf("prototype = %v θ=%v", llm.CenterPrototype, llm.ThetaPrototype)
+	}
+}
+
+func TestPaperInterceptInitialization(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.InitInterceptWithAnswer = false
+	m, _ := NewModel(cfg)
+	_, _ = m.Observe(Query{Center: vector.Of(0.5), Theta: 0.1}, 3)
+	if m.LLMs()[0].Intercept != 0 {
+		t.Errorf("paper-mode intercept = %v, want 0", m.LLMs()[0].Intercept)
+	}
+}
+
+func TestDistantQuerySpawnsPrototype(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.ResolutionA = 0.1 // vigilance ≈ 0.24
+	m, _ := NewModel(cfg)
+	_, _ = m.Observe(Query{Center: vector.Of(0.1, 0.1), Theta: 0.1}, 1)
+	info, err := m.Observe(Query{Center: vector.Of(0.9, 0.9), Theta: 0.1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Created || m.K() != 2 {
+		t.Errorf("distant query should spawn a prototype: %+v K=%d", info, m.K())
+	}
+	if !math.IsInf(info.Gamma, 1) {
+		t.Errorf("growth step must not allow convergence, Γ = %v", info.Gamma)
+	}
+}
+
+func TestNearbyQueryUpdatesWinner(t *testing.T) {
+	cfg := DefaultConfig(2)
+	m, _ := NewModel(cfg)
+	_, _ = m.Observe(Query{Center: vector.Of(0.5, 0.5), Theta: 0.1}, 1)
+	before := m.LLMs()[0]
+	info, err := m.Observe(Query{Center: vector.Of(0.52, 0.5), Theta: 0.1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Created {
+		t.Fatal("nearby query must not spawn a prototype")
+	}
+	after := m.LLMs()[0]
+	if after.CenterPrototype.Equal(before.CenterPrototype) {
+		t.Error("prototype did not move toward the query")
+	}
+	if after.Intercept == before.Intercept {
+		t.Error("intercept did not update")
+	}
+	if after.Wins != 2 {
+		t.Errorf("wins = %d", after.Wins)
+	}
+	if info.GammaJ <= 0 || info.GammaH <= 0 || info.Gamma != math.Max(info.GammaJ, info.GammaH) {
+		t.Errorf("step drifts = %+v", info)
+	}
+}
+
+func TestTrainConvergesOnStationaryStream(t *testing.T) {
+	pairs := planeStream(20000, 2, 0.3, []float64{0.5, -0.2}, 1.0, 1)
+	m, _ := NewModel(DefaultConfig(2))
+	res, err := m.Train(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("training did not converge within %d pairs (Γ=%v)", len(pairs), res.FinalGamma)
+	}
+	if res.Steps >= len(pairs) {
+		t.Errorf("expected early termination, used %d of %d pairs", res.Steps, len(pairs))
+	}
+	if res.FinalGamma > m.Config().Gamma {
+		t.Errorf("final Γ = %v > γ = %v", res.FinalGamma, m.Config().Gamma)
+	}
+	if res.K < 1 || res.K != m.K() {
+		t.Errorf("K = %d vs %d", res.K, m.K())
+	}
+	if len(res.GammaTrace) != res.Steps {
+		t.Errorf("trace length %d != steps %d", len(res.GammaTrace), res.Steps)
+	}
+	if !m.Converged() {
+		t.Error("model must report convergence")
+	}
+}
+
+func TestObserveAfterConvergenceIsFrozen(t *testing.T) {
+	pairs := planeStream(20000, 2, 0.3, []float64{0.5, -0.2}, 1.0, 2)
+	m, _ := NewModel(DefaultConfig(2))
+	if _, err := m.Train(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Converged() {
+		t.Skip("stream did not converge; freezing behaviour untestable here")
+	}
+	llmsBefore := m.LLMs()
+	stepsBefore := m.Steps()
+	info, err := m.Observe(Query{Center: vector.Of(0.5, 0.5), Theta: 0.1}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Converged {
+		t.Error("post-convergence observation should report converged")
+	}
+	if m.Steps() != stepsBefore {
+		t.Error("post-convergence observation must not consume steps")
+	}
+	llmsAfter := m.LLMs()
+	for i := range llmsBefore {
+		if !llmsBefore[i].CenterPrototype.Equal(llmsAfter[i].CenterPrototype) ||
+			llmsBefore[i].Intercept != llmsAfter[i].Intercept {
+			t.Fatal("parameters changed after convergence")
+		}
+	}
+}
+
+func TestPredictMeanOnLinearSurface(t *testing.T) {
+	// Answer surface is linear in (x, θ); predictions on unseen queries must
+	// be accurate after training.
+	b0, bx, btheta := 0.3, []float64{0.5, -0.2}, 1.0
+	pairs := planeStream(8000, 2, b0, bx, btheta, 3)
+	m, _ := NewModel(DefaultConfig(2))
+	if _, err := m.Train(pairs); err != nil {
+		t.Fatal(err)
+	}
+	test := planeStream(500, 2, b0, bx, btheta, 99)
+	var se float64
+	for _, p := range test {
+		yhat, err := m.PredictMean(p.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se += (yhat - p.Answer) * (yhat - p.Answer)
+	}
+	rmse := math.Sqrt(se / float64(len(test)))
+	if rmse > 0.03 {
+		t.Errorf("RMSE on linear surface = %v, want <= 0.03", rmse)
+	}
+}
+
+func TestPredictMeanNonLinearSurfaceBeatsGlobalMean(t *testing.T) {
+	// For a non-linear answer surface the model's prediction error must be
+	// clearly below the error of always predicting the global mean.
+	f := func(x []float64, theta float64) float64 {
+		return math.Sin(2*math.Pi*x[0])*x[1] + theta
+	}
+	train := surfaceStream(12000, 2, f, 4)
+	cfg := DefaultConfig(2)
+	cfg.ResolutionA = 0.1 // fine enough quantization to resolve the sine period
+	m, _ := NewModel(cfg)
+	if _, err := m.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	test := surfaceStream(1000, 2, f, 77)
+	var mean float64
+	for _, p := range train {
+		mean += p.Answer
+	}
+	mean /= float64(len(train))
+	var seModel, seMean float64
+	for _, p := range test {
+		yhat, err := m.PredictMean(p.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seModel += (yhat - p.Answer) * (yhat - p.Answer)
+		seMean += (mean - p.Answer) * (mean - p.Answer)
+	}
+	if seModel >= seMean*0.25 {
+		t.Errorf("model MSE %v should be well below global-mean MSE %v", seModel/float64(len(test)), seMean/float64(len(test)))
+	}
+}
+
+func TestPredictBeforeTraining(t *testing.T) {
+	m, _ := NewModel(DefaultConfig(2))
+	q := Query{Center: vector.Of(0.5, 0.5), Theta: 0.1}
+	if _, err := m.PredictMean(q); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("PredictMean err = %v", err)
+	}
+	if _, err := m.Regression(q); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Regression err = %v", err)
+	}
+	if _, err := m.PredictValue(q, []float64{0.5, 0.5}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("PredictValue err = %v", err)
+	}
+	if _, _, err := m.Neighborhood(q); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Neighborhood err = %v", err)
+	}
+}
+
+func TestPredictDimensionErrors(t *testing.T) {
+	m, _ := NewModel(DefaultConfig(2))
+	_, _ = m.Observe(Query{Center: vector.Of(0.5, 0.5), Theta: 0.1}, 1)
+	bad := Query{Center: vector.Of(0.5), Theta: 0.1}
+	if _, err := m.PredictMean(bad); !errors.Is(err, ErrDimension) {
+		t.Errorf("PredictMean err = %v", err)
+	}
+	if _, err := m.Regression(bad); !errors.Is(err, ErrDimension) {
+		t.Errorf("Regression err = %v", err)
+	}
+	good := Query{Center: vector.Of(0.5, 0.5), Theta: 0.1}
+	if _, err := m.PredictValue(good, []float64{0.1}); !errors.Is(err, ErrDimension) {
+		t.Errorf("PredictValue err = %v", err)
+	}
+	if _, _, err := m.Neighborhood(bad); !errors.Is(err, ErrDimension) {
+		t.Errorf("Neighborhood err = %v", err)
+	}
+}
+
+func TestPredictMeanExtrapolatesWhenNoOverlap(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.ResolutionA = 0.05
+	m, _ := NewModel(cfg)
+	// Single prototype near 0.2.
+	for i := 0; i < 50; i++ {
+		_, _ = m.Observe(Query{Center: vector.Of(0.2), Theta: 0.05}, 1.0)
+	}
+	// A far-away query that overlaps nothing still gets an answer from the
+	// closest prototype (Case 3 of Algorithm 3).
+	far := Query{Center: vector.Of(0.9), Theta: 0.01}
+	qs, _, err := m.Neighborhood(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 0 {
+		t.Fatalf("expected empty neighbourhood, got %d prototypes", len(qs))
+	}
+	if _, err := m.PredictMean(far); err != nil {
+		t.Errorf("extrapolated PredictMean failed: %v", err)
+	}
+	models, err := m.Regression(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0].Weight != 0 {
+		t.Errorf("extrapolated regression = %+v", models)
+	}
+	if _, err := m.PredictValue(far, []float64{0.9}); err != nil {
+		t.Errorf("extrapolated PredictValue failed: %v", err)
+	}
+}
+
+func TestRegressionRecoversLocalSlopes(t *testing.T) {
+	// Data function u = g(x) = 2x over [0,1]; queries report the mean of u in
+	// D(x0,θ), which for a linear g equals g(x0). The learned local models
+	// must therefore have slope ≈ 2 wherever they have seen enough queries.
+	g := func(x []float64, theta float64) float64 { return 2 * x[0] }
+	train := surfaceStream(15000, 1, g, 5)
+	m, _ := NewModel(DefaultConfig(1))
+	if _, err := m.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Center: vector.Of(0.5), Theta: 0.2}
+	models, err := m.Regression(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) == 0 {
+		t.Fatal("no local models returned")
+	}
+	var weightSum float64
+	for _, lm := range models {
+		weightSum += lm.Weight
+		// Each overlapping local model should approximate u = 2x: prediction
+		// at its own centre should be close to 2*centre.
+		pred := lm.Predict(lm.Center)
+		want := 2 * lm.Center[0]
+		if math.Abs(pred-want) > 0.15 {
+			t.Errorf("local model at %v predicts %v, want ≈ %v", lm.Center, pred, want)
+		}
+	}
+	if math.Abs(weightSum-1) > 1e-9 {
+		t.Errorf("normalized weights sum to %v", weightSum)
+	}
+}
+
+func TestPredictValueApproximatesDataFunction(t *testing.T) {
+	// Same setting as above: û(x) should approximate g(x) = 2x.
+	g := func(x []float64, theta float64) float64 { return 2 * x[0] }
+	train := surfaceStream(15000, 1, g, 6)
+	m, _ := NewModel(DefaultConfig(1))
+	if _, err := m.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	var se float64
+	const n = 200
+	for i := 0; i < n; i++ {
+		x := 0.1 + 0.8*rng.Float64()
+		uhat, err := m.PredictValueAt([]float64{x}, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se += (uhat - 2*x) * (uhat - 2*x)
+	}
+	rmse := math.Sqrt(se / n)
+	if rmse > 0.1 {
+		t.Errorf("data-value RMSE = %v", rmse)
+	}
+}
+
+func TestPredictValueAtValidation(t *testing.T) {
+	m, _ := NewModel(DefaultConfig(1))
+	_, _ = m.Observe(Query{Center: vector.Of(0.5), Theta: 0.1}, 1)
+	if _, err := m.PredictValueAt([]float64{0.5}, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := m.PredictValueAt(nil, 0.1); err == nil {
+		t.Error("empty point accepted")
+	}
+}
+
+func TestResolutionControlsPrototypeCount(t *testing.T) {
+	f := func(x []float64, theta float64) float64 { return x[0] + x[1] }
+	train := surfaceStream(5000, 2, f, 7)
+	countFor := func(a float64) int {
+		cfg := DefaultConfig(2)
+		cfg.ResolutionA = a
+		m, _ := NewModel(cfg)
+		if _, err := m.Train(train); err != nil {
+			t.Fatal(err)
+		}
+		return m.K()
+	}
+	coarse := countFor(1.0)
+	medium := countFor(0.25)
+	fine := countFor(0.08)
+	if coarse != 1 {
+		t.Errorf("a=1 should give a single prototype, got %d", coarse)
+	}
+	if !(fine > medium && medium > coarse) {
+		t.Errorf("K not monotone in resolution: fine=%d medium=%d coarse=%d", fine, medium, coarse)
+	}
+}
+
+func TestConstantScheduleDoesNotConverge(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Schedule = Constant{Eta: 0.3}
+	pairs := planeStream(3000, 2, 0.3, []float64{0.5, -0.2}, 1.0, 9)
+	m, _ := NewModel(cfg)
+	res, err := m.Train(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a non-decaying rate on a noisy stream the Γ criterion generally
+	// keeps firing above γ; the training must still terminate by exhausting
+	// the stream and remain usable.
+	if res.Steps == 0 || m.K() == 0 {
+		t.Errorf("training result = %+v", res)
+	}
+	if _, err := m.PredictMean(pairs[0].Query); err != nil {
+		t.Errorf("prediction after constant-rate training failed: %v", err)
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	h := Hyperbolic{}
+	if math.Abs(h.Rate(1)-0.5) > 1e-12 || math.Abs(h.Rate(9)-0.1) > 1e-12 {
+		t.Errorf("hyperbolic rates = %v, %v", h.Rate(1), h.Rate(9))
+	}
+	if h.Rate(0) != h.Rate(1) {
+		t.Error("out-of-range step should clamp")
+	}
+	if h.Name() == "" {
+		t.Error("empty name")
+	}
+	c := Constant{Eta: 0.2}
+	if c.Rate(1) != 0.2 || c.Rate(1000) != 0.2 {
+		t.Error("constant schedule must be constant")
+	}
+	if !strings.Contains(c.Name(), "0.2") {
+		t.Errorf("constant name = %q", c.Name())
+	}
+	p := PolynomialDecay{Eta0: 1, Power: 1}
+	if math.Abs(p.Rate(9)-h.Rate(9)) > 1e-12 {
+		t.Error("poly(1,1) must equal hyperbolic")
+	}
+	pd := PolynomialDecay{} // defaults
+	if pd.Rate(0) <= 0 || pd.Rate(10) >= 1 {
+		t.Errorf("default poly rates = %v, %v", pd.Rate(0), pd.Rate(10))
+	}
+	if pd.Name() == "" {
+		t.Error("poly name empty")
+	}
+	big := PolynomialDecay{Eta0: 100, Power: 0.6}
+	if big.Rate(1) > 1 {
+		t.Error("rates must be clamped to 1")
+	}
+	// Rates decrease with t for decaying schedules.
+	for tstep := 1; tstep < 100; tstep++ {
+		if h.Rate(tstep+1) > h.Rate(tstep) {
+			t.Fatal("hyperbolic schedule must be non-increasing")
+		}
+	}
+}
+
+func TestGammaTraceDecreases(t *testing.T) {
+	pairs := planeStream(6000, 2, 0.3, []float64{0.5, -0.2}, 1.0, 10)
+	m, _ := NewModel(DefaultConfig(2))
+	res, err := m.Train(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the median Γ of an early window with a late window (ignoring
+	// +Inf growth steps).
+	finite := func(lo, hi int) []float64 {
+		var out []float64
+		for _, g := range res.GammaTrace[lo:hi] {
+			if !math.IsInf(g, 1) {
+				out = append(out, g)
+			}
+		}
+		return out
+	}
+	if len(res.GammaTrace) < 400 {
+		t.Skip("trace too short to compare windows")
+	}
+	early := finite(100, 200)
+	late := finite(len(res.GammaTrace)-100, len(res.GammaTrace))
+	avg := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if len(early) == 0 || len(late) == 0 {
+		t.Skip("not enough finite steps in the windows")
+	}
+	if avg(late) >= avg(early) {
+		t.Errorf("Γ did not decrease: early %v late %v", avg(early), avg(late))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	pairs := planeStream(5000, 2, 0.3, []float64{0.5, -0.2}, 1.0, 11)
+	m, _ := NewModel(DefaultConfig(2))
+	if _, err := m.Train(pairs); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.K() != m.K() || loaded.Steps() != m.Steps() || loaded.Converged() != m.Converged() {
+		t.Errorf("loaded model differs: K %d/%d steps %d/%d", loaded.K(), m.K(), loaded.Steps(), m.Steps())
+	}
+	// Predictions must be identical.
+	test := planeStream(100, 2, 0.3, []float64{0.5, -0.2}, 1.0, 12)
+	for _, p := range test {
+		a, err1 := m.PredictMean(p.Query)
+		b, err2 := loaded.PredictMean(p.Query)
+		if err1 != nil || err2 != nil || math.Abs(a-b) > 1e-12 {
+			t.Fatalf("prediction mismatch after reload: %v vs %v (%v %v)", a, b, err1, err2)
+		}
+	}
+}
+
+func TestLoadRejectsInvalidDocuments(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "hello",
+		"wrong version":   `{"version": 99, "dim": 2, "vigilance": 0.5, "gamma": 0.01}`,
+		"bad dims":        `{"version": 1, "dim": 0, "vigilance": 0.5, "gamma": 0.01}`,
+		"bad llm dim":     `{"version": 1, "dim": 2, "vigilance": 0.5, "gamma": 0.01, "llms": [{"center": [1], "slope_x": [1, 2]}]}`,
+		"non-finite vals": `{"version": 1, "dim": 1, "vigilance": 0.5, "gamma": 0.01, "llms": [{"center": [1], "theta": 1e999, "slope_x": [0]}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); !errors.Is(err, ErrBadModelFile) {
+			t.Errorf("%s: err = %v, want ErrBadModelFile", name, err)
+		}
+	}
+}
+
+func TestLLMDataModelTheorem3(t *testing.T) {
+	// Theorem 3: over D_k, g(x) ≈ y_k + b_{X,k}(x − x_k) with intercept
+	// y_k − b_{X,k}·x_k and slope b_{X,k}.
+	l := &LLM{
+		CenterPrototype: vector.Of(0.5, 1.0),
+		ThetaPrototype:  0.2,
+		Intercept:       3,
+		SlopeX:          vector.Of(2, -1),
+		SlopeTheta:      0.7,
+	}
+	dm := l.DataModel()
+	wantIntercept := 3.0 - (2*0.5 + (-1)*1.0)
+	if math.Abs(dm.Intercept-wantIntercept) > 1e-12 {
+		t.Errorf("intercept = %v, want %v", dm.Intercept, wantIntercept)
+	}
+	if !dm.Slope.Equal(vector.Of(2, -1)) {
+		t.Errorf("slope = %v", dm.Slope)
+	}
+	// DataModel.Predict must agree with EvalAtPrototypeRadius everywhere.
+	for _, x := range [][]float64{{0, 0}, {0.5, 1}, {1, 2}, {-3, 4}} {
+		a := dm.Predict(x)
+		b := l.EvalAtPrototypeRadius(vector.Of(x...))
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("DataModel.Predict(%v) = %v, EvalAtPrototypeRadius = %v", x, a, b)
+		}
+	}
+	if dm.String() == "" || (LocalLinear{}).String() == "" {
+		t.Error("String must not be empty")
+	}
+}
+
+func TestLLMEval(t *testing.T) {
+	l := &LLM{
+		CenterPrototype: vector.Of(1),
+		ThetaPrototype:  0.5,
+		Intercept:       2,
+		SlopeX:          vector.Of(3),
+		SlopeTheta:      4,
+	}
+	// f(x, θ) = 2 + 3(x−1) + 4(θ−0.5).
+	got := l.Eval(vector.Of(2), 1)
+	if math.Abs(got-(2+3+2)) > 1e-12 {
+		t.Errorf("Eval = %v", got)
+	}
+	if l.Residual(vector.Of(2), 1, 10) != 10-got {
+		t.Error("Residual inconsistent with Eval")
+	}
+	if l.Dim() != 1 {
+		t.Errorf("Dim = %d", l.Dim())
+	}
+	pq := l.PrototypeQuery()
+	if pq.Theta != 0.5 || !pq.Center.Equal(vector.Of(1)) {
+		t.Errorf("PrototypeQuery = %+v", pq)
+	}
+}
+
+func TestLLMsReturnsDeepCopies(t *testing.T) {
+	m, _ := NewModel(DefaultConfig(1))
+	_, _ = m.Observe(Query{Center: vector.Of(0.5), Theta: 0.1}, 1)
+	copies := m.LLMs()
+	copies[0].Intercept = 999
+	copies[0].CenterPrototype[0] = 999
+	if m.LLMs()[0].Intercept == 999 || m.LLMs()[0].CenterPrototype[0] == 999 {
+		t.Error("LLMs must return deep copies")
+	}
+}
+
+func BenchmarkObserve2D(b *testing.B) {
+	m, _ := NewModel(DefaultConfig(2))
+	pairs := planeStream(4096, 2, 0.3, []float64{0.5, -0.2}, 1.0, 13)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if _, err := m.Observe(p.Query, p.Answer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictMean2D(b *testing.B) {
+	m, _ := NewModel(DefaultConfig(2))
+	pairs := planeStream(8000, 2, 0.3, []float64{0.5, -0.2}, 1.0, 14)
+	if _, err := m.Train(pairs); err != nil {
+		b.Fatal(err)
+	}
+	q := Query{Center: vector.Of(0.4, 0.6), Theta: 0.1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictMean(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

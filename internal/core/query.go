@@ -1,0 +1,108 @@
+// Package core implements the paper's primary contribution: the query-driven
+// Local Linear Mapping (LLM) model. The model observes executed analytics
+// queries q = [x, θ] and their answers y, quantizes the query space with a
+// conditionally growing AVQ (vigilance ρ = a(√d+1)), and learns per-prototype
+// local linear mappings f_k(x, θ) ≈ y_k + b_{X,k}(x − x_k)ᵀ + b_{Θ,k}(θ − θ_k)
+// by stochastic gradient descent (Algorithm 1, Theorem 4). After training it
+// answers, without any data access:
+//
+//   - Q1 mean-value queries (Algorithm 2, Eq. 11–12),
+//   - Q2 linear-regression queries as a list of local linear models over the
+//     queried data subspace (Algorithm 3, Eq. 13, Theorem 3), and
+//   - data-value predictions û ≈ g(x) (Eq. 14).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"llmq/internal/vector"
+)
+
+// Errors returned by the core model.
+var (
+	ErrDimension  = errors.New("core: dimension mismatch")
+	ErrNotTrained = errors.New("core: model has no prototypes yet")
+	ErrBadConfig  = errors.New("core: invalid configuration")
+)
+
+// Query is an analytics query over the data subspace D(x, θ): all points
+// within distance θ of the centre x (Definition 3/4 of the paper).
+type Query struct {
+	// Center is the query centre x ∈ R^d.
+	Center vector.Vec
+	// Theta is the radius θ >= 0.
+	Theta float64
+}
+
+// NewQuery builds a query, validating its shape.
+func NewQuery(center []float64, theta float64) (Query, error) {
+	if len(center) == 0 {
+		return Query{}, fmt.Errorf("%w: empty query centre", ErrDimension)
+	}
+	if theta < 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return Query{}, fmt.Errorf("core: invalid radius %v", theta)
+	}
+	return Query{Center: vector.Of(center...), Theta: theta}, nil
+}
+
+// Dim returns the dimensionality d of the query centre.
+func (q Query) Dim() int { return len(q.Center) }
+
+// Vector returns the query as the (d+1)-dimensional vector [x, θ] of the
+// query space Q (Definition 4).
+func (q Query) Vector() vector.Vec {
+	return q.Center.Append(q.Theta)
+}
+
+// Distance returns the query-space L2 distance between two queries
+// (Definition 5): sqrt(||x − x'||² + (θ − θ')²).
+func (q Query) Distance(o Query) float64 {
+	return math.Sqrt(vector.SqDistance(q.Center, o.Center) + (q.Theta-o.Theta)*(q.Theta-o.Theta))
+}
+
+// Overlaps reports whether the data subspaces of q and o overlap
+// (Definition 6): ||x − x'||₂ <= θ + θ'.
+func (q Query) Overlaps(o Query) bool {
+	return vector.Distance(q.Center, o.Center) <= q.Theta+o.Theta
+}
+
+// OverlapDegree returns the normalized degree of overlap δ(q, o) ∈ [0, 1]
+// of Eq. (9): 1 − max(||x − x'||₂, |θ − θ'|)/(θ + θ') when the subspaces
+// overlap, and 0 otherwise. Two identical queries have degree 1.
+func (q Query) OverlapDegree(o Query) float64 {
+	sum := q.Theta + o.Theta
+	if sum <= 0 {
+		// Two degenerate (zero-radius) queries overlap fully only when they
+		// coincide.
+		if vector.Distance(q.Center, o.Center) == 0 {
+			return 1
+		}
+		return 0
+	}
+	dist := vector.Distance(q.Center, o.Center)
+	if dist > sum {
+		return 0
+	}
+	num := math.Max(dist, math.Abs(q.Theta-o.Theta))
+	deg := 1 - num/sum
+	if deg < 0 {
+		return 0
+	}
+	return deg
+}
+
+// Contains reports whether the point x lies inside the query's data
+// subspace D(x0, θ) under the L2 norm.
+func (q Query) Contains(x []float64) bool {
+	if len(x) != q.Dim() {
+		return false
+	}
+	return vector.Distance(vector.Vec(x), q.Center) <= q.Theta
+}
+
+// String renders the query compactly.
+func (q Query) String() string {
+	return fmt.Sprintf("D(x=%s, θ=%.4g)", q.Center.String(), q.Theta)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The serialized form of a model: a stable JSON document so trained models
+// can be persisted next to the DBMS and reloaded by query-processing nodes
+// without retraining.
+
+type modelJSON struct {
+	Version   int       `json:"version"`
+	Dim       int       `json:"dim"`
+	Vigilance float64   `json:"vigilance"`
+	Gamma     float64   `json:"gamma"`
+	Steps     int       `json:"steps"`
+	Converged bool      `json:"converged"`
+	LLMs      []llmJSON `json:"llms"`
+}
+
+type llmJSON struct {
+	Center     []float64 `json:"center"`
+	Theta      float64   `json:"theta"`
+	Intercept  float64   `json:"intercept"`
+	SlopeX     []float64 `json:"slope_x"`
+	SlopeTheta float64   `json:"slope_theta"`
+	Wins       int       `json:"wins"`
+}
+
+const serializationVersion = 1
+
+// ErrBadModelFile is returned when a serialized model cannot be decoded or
+// fails validation.
+var ErrBadModelFile = errors.New("core: invalid model file")
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	doc := modelJSON{
+		Version:   serializationVersion,
+		Dim:       m.cfg.Dim,
+		Vigilance: m.cfg.Vigilance,
+		Gamma:     m.cfg.Gamma,
+		Steps:     m.steps,
+		Converged: m.converged,
+		LLMs:      make([]llmJSON, len(m.llms)),
+	}
+	for i, l := range m.llms {
+		doc.LLMs[i] = llmJSON{
+			Center:     append([]float64(nil), l.CenterPrototype...),
+			Theta:      l.ThetaPrototype,
+			Intercept:  l.Intercept,
+			SlopeX:     append([]float64(nil), l.SlopeX...),
+			SlopeTheta: l.SlopeTheta,
+			Wins:       l.Wins,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("core: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save. The loaded model can answer
+// queries; it can also continue training with the embedded configuration.
+func Load(r io.Reader) (*Model, error) {
+	var doc modelJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModelFile, err)
+	}
+	if doc.Version != serializationVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadModelFile, doc.Version)
+	}
+	if doc.Dim <= 0 || doc.Vigilance <= 0 || doc.Gamma <= 0 {
+		return nil, fmt.Errorf("%w: non-positive dim/vigilance/gamma", ErrBadModelFile)
+	}
+	cfg := Config{
+		Dim:                     doc.Dim,
+		Vigilance:               doc.Vigilance,
+		Gamma:                   doc.Gamma,
+		Schedule:                Hyperbolic{},
+		InitInterceptWithAnswer: true,
+		RateByPrototype:         true,
+	}
+	m, err := NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.steps = doc.Steps
+	m.converged = doc.Converged
+	for i, lj := range doc.LLMs {
+		if len(lj.Center) != doc.Dim || len(lj.SlopeX) != doc.Dim {
+			return nil, fmt.Errorf("%w: LLM %d has wrong dimensionality", ErrBadModelFile, i)
+		}
+		for _, v := range append(append([]float64{lj.Theta, lj.Intercept, lj.SlopeTheta}, lj.Center...), lj.SlopeX...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: LLM %d contains non-finite values", ErrBadModelFile, i)
+			}
+		}
+		m.llms = append(m.llms, &LLM{
+			CenterPrototype: append([]float64(nil), lj.Center...),
+			ThetaPrototype:  lj.Theta,
+			Intercept:       lj.Intercept,
+			SlopeX:          append([]float64(nil), lj.SlopeX...),
+			SlopeTheta:      lj.SlopeTheta,
+			Wins:            lj.Wins,
+		})
+	}
+	return m, nil
+}

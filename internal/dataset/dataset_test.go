@@ -1,0 +1,310 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample(t *testing.T, n, dim int, seed int64) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	us := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = make([]float64, dim)
+		for j := range xs[i] {
+			xs[i][j] = rng.Float64()*10 - 5
+		}
+		us[i] = rng.NormFloat64()
+	}
+	ds, err := FromPoints("t", xs, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewAndAppend(t *testing.T) {
+	ds := New("demo", 3)
+	if ds.Dim() != 3 || ds.Len() != 0 {
+		t.Fatalf("Dim=%d Len=%d", ds.Dim(), ds.Len())
+	}
+	if ds.InputNames[0] != "x1" || ds.InputNames[2] != "x3" || ds.OutputName != "u" {
+		t.Errorf("default names = %v / %q", ds.InputNames, ds.OutputName)
+	}
+	if err := ds.Append([]float64{1, 2, 3}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 1 {
+		t.Errorf("Len = %d", ds.Len())
+	}
+	if err := ds.Append([]float64{1}, 2); !errors.Is(err, ErrDimension) {
+		t.Errorf("dim mismatch err = %v", err)
+	}
+}
+
+func TestFromPointsValidation(t *testing.T) {
+	if _, err := FromPoints("x", [][]float64{{1}}, []float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("mismatched lengths err = %v", err)
+	}
+	if _, err := FromPoints("x", nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := FromPoints("x", [][]float64{{1, 2}, {1}}, []float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("ragged err = %v", err)
+	}
+	ds, err := FromPoints("x", [][]float64{{1, 2}}, []float64{3})
+	if err != nil || ds.Dim() != 2 {
+		t.Errorf("valid FromPoints: %v %v", ds, err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ds := sample(t, 10, 2, 1)
+	c := ds.Clone()
+	c.Xs[0][0] = 999
+	c.Us[0] = 999
+	if ds.Xs[0][0] == 999 || ds.Us[0] == 999 {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ds := sample(t, 5, 2, 2)
+	if err := ds.Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+	bad := ds.Clone()
+	bad.Us = bad.Us[:len(bad.Us)-1]
+	if err := bad.Validate(); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	bad2 := ds.Clone()
+	bad2.Xs[2] = []float64{1}
+	if err := bad2.Validate(); err == nil {
+		t.Error("ragged row not detected")
+	}
+	bad3 := ds.Clone()
+	bad3.Xs[0][0] = math.NaN()
+	if err := bad3.Validate(); err == nil {
+		t.Error("NaN input not detected")
+	}
+	bad4 := ds.Clone()
+	bad4.Us[0] = math.Inf(1)
+	if err := bad4.Validate(); err == nil {
+		t.Error("Inf output not detected")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	ds, _ := FromPoints("b", [][]float64{{1, -2}, {3, 0}, {-1, 5}}, []float64{10, -10, 0})
+	b, err := ds.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.InputMin[0] != -1 || b.InputMax[0] != 3 || b.InputMin[1] != -2 || b.InputMax[1] != 5 {
+		t.Errorf("input bounds = %+v", b)
+	}
+	if b.OutputMin != -10 || b.OutputMax != 10 {
+		t.Errorf("output bounds = %+v", b)
+	}
+	empty := New("e", 2)
+	if _, err := empty.Bounds(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty bounds err = %v", err)
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	ds := sample(t, 100, 3, 3)
+	s, err := FitScaler(ds, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := s.Apply(ds)
+	for i := range scaled.Xs {
+		for j, v := range scaled.Xs[i] {
+			if v < 0 || v > 1 {
+				t.Fatalf("scaled input out of [0,1]: row %d col %d = %v", i, j, v)
+			}
+		}
+		if scaled.Us[i] < 0 || scaled.Us[i] > 1 {
+			t.Fatalf("scaled output out of [0,1]: %v", scaled.Us[i])
+		}
+		back := s.UnscaleX(scaled.Xs[i])
+		for j := range back {
+			if math.Abs(back[j]-ds.Xs[i][j]) > 1e-9 {
+				t.Fatalf("UnscaleX round trip failed at row %d", i)
+			}
+		}
+		if math.Abs(s.UnscaleU(scaled.Us[i])-ds.Us[i]) > 1e-9 {
+			t.Fatalf("UnscaleU round trip failed at row %d", i)
+		}
+	}
+}
+
+func TestScalerWithoutOutputScaling(t *testing.T) {
+	ds := sample(t, 50, 2, 4)
+	s, err := FitScaler(ds, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ScaleU(3.7) != 3.7 || s.UnscaleU(3.7) != 3.7 {
+		t.Error("output must pass through unchanged when scaleOutput is false")
+	}
+	if s.Bounds().InputMin == nil {
+		t.Error("Bounds should be populated")
+	}
+}
+
+func TestScalerDegenerateAttribute(t *testing.T) {
+	ds, _ := FromPoints("deg", [][]float64{{1, 5}, {2, 5}, {3, 5}}, []float64{7, 7, 7})
+	s, err := FitScaler(ds, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := s.ScaleX([]float64{2, 5})
+	if x[1] != 0.5 {
+		t.Errorf("constant attribute should scale to 0.5, got %v", x[1])
+	}
+	if s.ScaleU(7) != 0.5 {
+		t.Errorf("constant output should scale to 0.5, got %v", s.ScaleU(7))
+	}
+	empty := New("e", 1)
+	if _, err := FitScaler(empty, false); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty scaler err = %v", err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := sample(t, 100, 2, 5)
+	a, b, err := ds.Split(0.7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len()+b.Len() != 100 {
+		t.Fatalf("split sizes %d + %d != 100", a.Len(), b.Len())
+	}
+	if a.Len() != 70 {
+		t.Errorf("first part = %d, want 70", a.Len())
+	}
+	// Deterministic for the same seed.
+	a2, _, _ := ds.Split(0.7, 9)
+	for i := range a.Us {
+		if a.Us[i] != a2.Us[i] {
+			t.Fatal("split is not deterministic")
+		}
+	}
+	if _, _, err := ds.Split(0, 1); err == nil {
+		t.Error("frac=0 should be rejected")
+	}
+	if _, _, err := ds.Split(1, 1); err == nil {
+		t.Error("frac=1 should be rejected")
+	}
+	empty := New("e", 2)
+	if _, _, err := empty.Split(0.5, 1); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty split err = %v", err)
+	}
+	// Tiny datasets never produce an empty side.
+	tiny, _ := FromPoints("tiny", [][]float64{{1}, {2}}, []float64{1, 2})
+	x, y, err := tiny.Split(0.01, 3)
+	if err != nil || x.Len() == 0 || y.Len() == 0 {
+		t.Errorf("tiny split = %d/%d, %v", x.Len(), y.Len(), err)
+	}
+	x, y, err = tiny.Split(0.99, 3)
+	if err != nil || x.Len() == 0 || y.Len() == 0 {
+		t.Errorf("tiny split hi = %d/%d, %v", x.Len(), y.Len(), err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	ds := sample(t, 50, 2, 6)
+	s := ds.Sample(10, 1)
+	if s.Len() != 10 {
+		t.Errorf("sample size = %d", s.Len())
+	}
+	full := ds.Sample(500, 1)
+	if full.Len() != 50 {
+		t.Errorf("oversampling should return the whole dataset, got %d", full.Len())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := sample(t, 25, 3, 7)
+	ds.InputNames = []string{"lon", "lat", "depth"}
+	ds.OutputName = "pwave"
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim() != 3 || back.Len() != 25 {
+		t.Fatalf("round trip shape %d x %d", back.Len(), back.Dim())
+	}
+	if back.InputNames[0] != "lon" || back.OutputName != "pwave" {
+		t.Errorf("names lost: %v %q", back.InputNames, back.OutputName)
+	}
+	for i := range ds.Xs {
+		for j := range ds.Xs[i] {
+			if math.Abs(ds.Xs[i][j]-back.Xs[i][j]) > 1e-12 {
+				t.Fatalf("value drift at %d,%d", i, j)
+			}
+		}
+		if math.Abs(ds.Us[i]-back.Us[i]) > 1e-12 {
+			t.Fatalf("output drift at %d", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"one column":  "a\n1\n",
+		"short row":   "a,b,u\n1,2,3\n4,5\n",
+		"bad number":  "a,b,u\n1,zap,3\n",
+		"bad output":  "a,b,u\n1,2,zap\n",
+		"header only": "a,b,u\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV("x", strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// Property: scaling then unscaling any in-bounds vector is the identity.
+func TestPropertyScalerInverse(t *testing.T) {
+	ds := sample(t, 200, 4, 11)
+	s, err := FitScaler(ds, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Bounds()
+	f := func(raw [4]float64) bool {
+		x := make([]float64, 4)
+		for j := range x {
+			frac := math.Abs(math.Mod(raw[j], 1))
+			if math.IsNaN(frac) {
+				frac = 0.5
+			}
+			x[j] = b.InputMin[j] + frac*(b.InputMax[j]-b.InputMin[j])
+		}
+		back := s.UnscaleX(s.ScaleX(x))
+		for j := range x {
+			if math.Abs(back[j]-x[j]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

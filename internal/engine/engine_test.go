@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"llmq/internal/dataset"
+)
+
+func mustSchema(t *testing.T, cols ...string) Schema {
+	t.Helper()
+	s, err := NewSchema(cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchema(t *testing.T) {
+	s := mustSchema(t, "x1", "x2", "u")
+	if s.Arity() != 3 {
+		t.Errorf("arity = %d", s.Arity())
+	}
+	if i, err := s.ColumnIndex("x2"); err != nil || i != 1 {
+		t.Errorf("ColumnIndex = %d, %v", i, err)
+	}
+	if _, err := s.ColumnIndex("nope"); !errors.Is(err, ErrColumnNotFound) {
+		t.Errorf("missing column err = %v", err)
+	}
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewSchema("a", "a"); err == nil {
+		t.Error("duplicate columns accepted")
+	}
+	if _, err := NewSchema("a", ""); err == nil {
+		t.Error("empty column name accepted")
+	}
+}
+
+func TestTableInsertAndAccess(t *testing.T) {
+	tab := NewTable("points", mustSchema(t, "x", "y", "u"))
+	if tab.Name() != "points" || tab.Len() != 0 {
+		t.Fatalf("fresh table: %q len %d", tab.Name(), tab.Len())
+	}
+	if err := tab.Insert(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(4, 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(1, 2); !errors.Is(err, ErrArity) {
+		t.Errorf("arity err = %v", err)
+	}
+	if tab.Len() != 2 {
+		t.Errorf("len = %d", tab.Len())
+	}
+	col, err := tab.Column("y")
+	if err != nil || col[1] != 5 {
+		t.Errorf("Column = %v, %v", col, err)
+	}
+	if _, err := tab.Column("zz"); !errors.Is(err, ErrColumnNotFound) {
+		t.Errorf("missing column err = %v", err)
+	}
+	if got := tab.ColumnAt(2); got[0] != 3 {
+		t.Errorf("ColumnAt = %v", got)
+	}
+	row := tab.Row(1)
+	if row[0] != 4 || row[2] != 6 {
+		t.Errorf("Row = %v", row)
+	}
+	if tab.Schema().Arity() != 3 {
+		t.Error("Schema accessor broken")
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	tab := NewTable("p", mustSchema(t, "a"))
+	_ = tab.Insert(1)
+	cases := []func(){
+		func() { tab.Row(5) },
+		func() { tab.Row(-1) },
+		func() { tab.ColumnAt(3) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBulkInsert(t *testing.T) {
+	tab := NewTable("p", mustSchema(t, "a", "b"))
+	rows := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	if err := tab.BulkInsert(rows); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 {
+		t.Errorf("len = %d", tab.Len())
+	}
+	// A bad row anywhere must reject the whole batch before inserting.
+	bad := [][]float64{{1, 2}, {3}}
+	if err := tab.BulkInsert(bad); !errors.Is(err, ErrArity) {
+		t.Errorf("bad batch err = %v", err)
+	}
+	if tab.Len() != 3 {
+		t.Errorf("failed batch must not partially insert; len = %d", tab.Len())
+	}
+}
+
+func TestScanAndFilterAndProject(t *testing.T) {
+	tab := NewTable("p", mustSchema(t, "x", "u"))
+	for i := 0; i < 10; i++ {
+		_ = tab.Insert(float64(i), float64(i*i))
+	}
+	var visited int
+	tab.Scan(func(rowID int) bool {
+		visited++
+		return rowID < 4 // stop early after seeing row 4
+	})
+	if visited != 5 {
+		t.Errorf("early-stop scan visited %d rows", visited)
+	}
+	ids := tab.Filter(func(row []float64) bool { return row[0] >= 7 })
+	if len(ids) != 3 || ids[0] != 7 {
+		t.Errorf("Filter = %v", ids)
+	}
+	proj, err := tab.Project(ids, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj) != 3 || proj[0][0] != 49 {
+		t.Errorf("Project = %v", proj)
+	}
+	if _, err := tab.Project(ids, "nope"); !errors.Is(err, ErrColumnNotFound) {
+		t.Errorf("project missing column err = %v", err)
+	}
+	if _, err := tab.Project([]int{99}, "x"); err == nil {
+		t.Error("out-of-range row id accepted")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	s := mustSchema(t, "x", "u")
+	tab, err := c.Create("pts", s)
+	if err != nil || tab == nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := c.Create("pts", s); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate create err = %v", err)
+	}
+	got, err := c.Get("pts")
+	if err != nil || got != tab {
+		t.Errorf("Get = %v, %v", got, err)
+	}
+	if _, err := c.Get("zz"); !errors.Is(err, ErrTableNotFound) {
+		t.Errorf("missing get err = %v", err)
+	}
+	if _, err := c.Create("more", s); err != nil {
+		t.Fatal(err)
+	}
+	names := c.List()
+	if len(names) != 2 || names[0] != "more" || names[1] != "pts" {
+		t.Errorf("List = %v", names)
+	}
+	if err := c.Drop("pts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("pts"); !errors.Is(err, ErrTableNotFound) {
+		t.Errorf("double drop err = %v", err)
+	}
+}
+
+func TestLoadDataset(t *testing.T) {
+	ds, err := dataset.FromPoints("seis", [][]float64{{1, 2}, {3, 4}}, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.InputNames = []string{"lon", "lat"}
+	ds.OutputName = "pwave"
+	c := NewCatalog()
+	tab, err := c.LoadDataset("", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "seis" || tab.Len() != 2 {
+		t.Errorf("loaded table %q with %d rows", tab.Name(), tab.Len())
+	}
+	u, err := tab.Column("pwave")
+	if err != nil || u[1] != 20 {
+		t.Errorf("output column = %v, %v", u, err)
+	}
+	lat, _ := tab.Column("lat")
+	if lat[0] != 2 {
+		t.Errorf("lat = %v", lat)
+	}
+	// Named load and duplicate detection.
+	if _, err := c.LoadDataset("other", ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadDataset("other", ds); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate load err = %v", err)
+	}
+	// Invalid dataset is rejected.
+	bad := ds.Clone()
+	bad.Us = bad.Us[:1]
+	if _, err := c.LoadDataset("bad", bad); err == nil {
+		t.Error("invalid dataset accepted")
+	}
+}
+
+func TestConcurrentCatalogAccess(t *testing.T) {
+	c := NewCatalog()
+	s := mustSchema(t, "a")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_, _ = c.Create("t", s)
+			_ = c.Drop("t")
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_, _ = c.Get("t")
+		_ = c.List()
+	}
+	<-done
+}
+
+func BenchmarkInsert(b *testing.B) {
+	s, _ := NewSchema("x1", "x2", "x3", "u")
+	tab := NewTable("bench", s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tab.Insert(1, 2, 3, 4)
+	}
+}
+
+func BenchmarkFilter10k(b *testing.B) {
+	s, _ := NewSchema("x", "u")
+	tab := NewTable("bench", s)
+	for i := 0; i < 10000; i++ {
+		_ = tab.Insert(float64(i), float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tab.Filter(func(row []float64) bool { return row[0] > 5000 })
+	}
+}

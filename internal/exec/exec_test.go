@@ -1,0 +1,281 @@
+package exec
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"llmq/internal/dataset"
+	"llmq/internal/engine"
+	"llmq/internal/index"
+	"llmq/internal/synth"
+)
+
+// loadTable creates a catalog table from a synthetic dataset built on a known
+// data function.
+func loadTable(t testing.TB, n, dim int, fn synth.DataFunc, noise float64, seed int64) (*engine.Table, *dataset.Dataset) {
+	t.Helper()
+	pts, err := synth.Generate(synth.Config{
+		Name: "t", N: n, Dim: dim, Lo: 0, Hi: 1, Func: fn, NoiseStdDev: noise, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.FromPoints("t", pts.Xs, pts.Us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := engine.NewCatalog()
+	tab, err := cat.LoadDataset("t", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, ds
+}
+
+func TestNewExecutorValidation(t *testing.T) {
+	tab, _ := loadTable(t, 100, 2, synth.Paraboloid, 0, 1)
+	if _, err := NewExecutor(tab, nil, "u", nil); !errors.Is(err, ErrNoInputs) {
+		t.Errorf("no inputs err = %v", err)
+	}
+	if _, err := NewExecutor(tab, []string{"zz"}, "u", nil); err == nil {
+		t.Error("unknown input column accepted")
+	}
+	if _, err := NewExecutor(tab, []string{"x1", "x2"}, "zz", nil); err == nil {
+		t.Error("unknown output column accepted")
+	}
+	// Index dimension mismatch.
+	badIdx, _ := index.NewLinear([][]float64{{1}, {2}})
+	if _, err := NewExecutor(tab, []string{"x1", "x2"}, "u", badIdx); err == nil {
+		t.Error("index dimension mismatch accepted")
+	}
+	// Index size mismatch.
+	smallIdx, _ := index.NewLinear([][]float64{{1, 2}})
+	if _, err := NewExecutor(tab, []string{"x1", "x2"}, "u", smallIdx); err == nil {
+		t.Error("index size mismatch accepted")
+	}
+	e, err := NewExecutor(tab, []string{"x1", "x2"}, "u", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.OutputName() != "u" || len(e.InputNames()) != 2 || e.Table() != tab {
+		t.Error("accessors broken")
+	}
+}
+
+func TestMeanMatchesBruteForce(t *testing.T) {
+	tab, ds := loadTable(t, 2000, 2, synth.SensorSurrogate, 0.01, 2)
+	e, err := NewExecutor(tab, []string{"x1", "x2"}, "u", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		q := RadiusQuery{Center: []float64{rng.Float64(), rng.Float64()}, Theta: 0.15 + 0.1*rng.Float64()}
+		res, err := e.Mean(q)
+		if err != nil {
+			if errors.Is(err, ErrEmptySubspace) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		// Brute force.
+		var sum float64
+		var count int
+		for i := range ds.Xs {
+			dx := ds.Xs[i][0] - q.Center[0]
+			dy := ds.Xs[i][1] - q.Center[1]
+			if math.Sqrt(dx*dx+dy*dy) <= q.Theta {
+				sum += ds.Us[i]
+				count++
+			}
+		}
+		if count != res.Count {
+			t.Fatalf("trial %d: count %d vs brute force %d", trial, res.Count, count)
+		}
+		if math.Abs(res.Mean-sum/float64(count)) > 1e-10 {
+			t.Fatalf("trial %d: mean %v vs brute force %v", trial, res.Mean, sum/float64(count))
+		}
+		if res.Elapsed < 0 {
+			t.Error("elapsed must be non-negative")
+		}
+	}
+}
+
+func TestMeanEmptySubspace(t *testing.T) {
+	tab, _ := loadTable(t, 100, 2, synth.Paraboloid, 0, 4)
+	e, _ := NewExecutor(tab, []string{"x1", "x2"}, "u", nil)
+	_, err := e.Mean(RadiusQuery{Center: []float64{50, 50}, Theta: 0.1})
+	if !errors.Is(err, ErrEmptySubspace) {
+		t.Errorf("err = %v, want ErrEmptySubspace", err)
+	}
+	_, err = e.Regression(RadiusQuery{Center: []float64{50, 50}, Theta: 0.1})
+	if !errors.Is(err, ErrEmptySubspace) {
+		t.Errorf("regression err = %v, want ErrEmptySubspace", err)
+	}
+	if _, _, err := e.SubspaceValues(RadiusQuery{Center: []float64{50, 50}, Theta: 0.1}); !errors.Is(err, ErrEmptySubspace) {
+		t.Errorf("subspace err = %v", err)
+	}
+}
+
+func TestRegressionRecoversLinearFunction(t *testing.T) {
+	// For a perfectly linear data function, REG must recover the plane and
+	// report FVU ~ 0, CoD ~ 1.
+	plane := synth.Plane(0.5, []float64{2, -1})
+	tab, _ := loadTable(t, 3000, 2, plane, 0, 5)
+	e, err := NewExecutor(tab, []string{"x1", "x2"}, "u", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Regression(RadiusQuery{Center: []float64{0.5, 0.5}, Theta: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Intercept-0.5) > 1e-6 || math.Abs(res.Slope[0]-2) > 1e-6 || math.Abs(res.Slope[1]+1) > 1e-6 {
+		t.Errorf("coefficients = %v, %v", res.Intercept, res.Slope)
+	}
+	if res.FVU > 1e-9 || res.CoD < 1-1e-9 {
+		t.Errorf("FVU=%v CoD=%v", res.FVU, res.CoD)
+	}
+	if res.Predict([]float64{1, 1}) != res.Intercept+res.Slope[0]+res.Slope[1] {
+		t.Error("Predict inconsistent with coefficients")
+	}
+}
+
+func TestRegressionOnNonLinearDataHasHighFVU(t *testing.T) {
+	// Over a wide subspace of a strongly non-linear function the global
+	// linear fit should leave substantial unexplained variance.
+	tab, _ := loadTable(t, 5000, 2, synth.SensorSurrogate, 0, 6)
+	e, _ := NewExecutor(tab, []string{"x1", "x2"}, "u", nil)
+	res, err := e.Regression(RadiusQuery{Center: []float64{0.5, 0.5}, Theta: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FVU < 0.05 {
+		t.Errorf("expected a poor global fit over a non-linear subspace, FVU = %v", res.FVU)
+	}
+}
+
+func TestGoodnessOverSubspace(t *testing.T) {
+	plane := synth.Plane(1, []float64{3})
+	tab, _ := loadTable(t, 500, 1, plane, 0, 7)
+	e, _ := NewExecutor(tab, []string{"x1"}, "u", nil)
+	q := RadiusQuery{Center: []float64{0.5}, Theta: 0.4}
+	// Perfect predictor.
+	g, err := e.GoodnessOverSubspace(q, func(x []float64) float64 { return 1 + 3*x[0] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FVU > 1e-12 || g.CoD < 1-1e-12 {
+		t.Errorf("perfect predictor: %+v", g)
+	}
+	// Constant predictor explains nothing: FVU ~ 1.
+	g, err = e.GoodnessOverSubspace(q, func(x []float64) float64 { return 2.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FVU < 0.5 {
+		t.Errorf("constant predictor should have high FVU, got %+v", g)
+	}
+	if _, err := e.GoodnessOverSubspace(RadiusQuery{Center: []float64{99}, Theta: 0.01}, func([]float64) float64 { return 0 }); !errors.Is(err, ErrEmptySubspace) {
+		t.Errorf("empty subspace err = %v", err)
+	}
+}
+
+func TestGridExecutorAgreesWithLinear(t *testing.T) {
+	tab, _ := loadTable(t, 3000, 3, synth.SensorSurrogate, 0, 8)
+	linE, err := NewExecutor(tab, []string{"x1", "x2", "x3"}, "u", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridE, err := NewExecutorWithGrid(tab, []string{"x1", "x2", "x3"}, "u", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		q := RadiusQuery{
+			Center: []float64{rng.Float64(), rng.Float64(), rng.Float64()},
+			Theta:  0.1 + 0.1*rng.Float64(),
+		}
+		a, errA := linE.Mean(q)
+		b, errB := gridE.Mean(q)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.Count != b.Count || math.Abs(a.Mean-b.Mean) > 1e-10 {
+			t.Fatalf("trial %d: linear (%d, %v) vs grid (%d, %v)", trial, a.Count, a.Mean, b.Count, b.Mean)
+		}
+	}
+}
+
+func TestSelectWithDifferentNorms(t *testing.T) {
+	tab, _ := loadTable(t, 1000, 2, synth.Paraboloid, 0, 10)
+	e, _ := NewExecutor(tab, []string{"x1", "x2"}, "u", nil)
+	center := []float64{0.5, 0.5}
+	l2, err := e.Select(RadiusQuery{Center: center, Theta: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := e.Select(RadiusQuery{Center: center, Theta: 0.2, P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linf, err := e.Select(RadiusQuery{Center: center, Theta: 0.2, P: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L1 ball ⊆ L2 ball ⊆ L∞ ball for the same radius.
+	if !(len(l1) <= len(l2) && len(l2) <= len(linf)) {
+		t.Errorf("norm ball containment violated: |L1|=%d |L2|=%d |Linf|=%d", len(l1), len(l2), len(linf))
+	}
+}
+
+func TestRegressionErrorOnTinySubspace(t *testing.T) {
+	// A subspace with fewer points than coefficients must surface an error,
+	// not a bogus fit.
+	tab, _ := loadTable(t, 3, 2, synth.Paraboloid, 0, 11)
+	e, _ := NewExecutor(tab, []string{"x1", "x2"}, "u", nil)
+	// Radius large enough to select exactly the 3 points is fine (3 = d+1);
+	// shrink until fewer than 3 are selected to trigger the error.
+	_, err := e.Regression(RadiusQuery{Center: []float64{0, 0}, Theta: 1e-9})
+	if err == nil {
+		t.Error("expected an error for an under-determined regression")
+	}
+}
+
+func BenchmarkExactMean10k(b *testing.B) {
+	tab, _ := loadTable(b, 10000, 2, synth.SensorSurrogate, 0.01, 12)
+	e, err := NewExecutor(tab, []string{"x1", "x2"}, "u", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := RadiusQuery{Center: []float64{0.5, 0.5}, Theta: 0.2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Mean(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactRegression10k(b *testing.B) {
+	tab, _ := loadTable(b, 10000, 2, synth.SensorSurrogate, 0.01, 13)
+	e, err := NewExecutor(tab, []string{"x1", "x2"}, "u", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := RadiusQuery{Center: []float64{0.5, 0.5}, Theta: 0.2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Regression(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

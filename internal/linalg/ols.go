@@ -1,0 +1,108 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// OLSModel is a fitted ordinary least squares multivariate linear regression
+// u ≈ b0 + b·x. It is the exact "REG" baseline the paper compares against
+// (Definition 1), computed with full access to the data subspace.
+type OLSModel struct {
+	// Intercept is the fitted intercept b0.
+	Intercept float64
+	// Slope holds the fitted coefficients b1..bd.
+	Slope []float64
+	// N is the number of observations the model was fitted on.
+	N int
+	// RSS is the residual sum of squares on the training observations.
+	RSS float64
+	// TSS is the total sum of squares of the response around its mean.
+	TSS float64
+}
+
+// ErrTooFewObservations is returned when a regression is requested over
+// fewer observations than coefficients to fit.
+var ErrTooFewObservations = errors.New("linalg: too few observations for regression")
+
+// FitOLS fits u ≈ b0 + b·x by least squares over the given observations.
+// xs[i] is the i-th input vector (all must share the same dimension d) and
+// us[i] the corresponding response. At least d+1 observations are required.
+func FitOLS(xs [][]float64, us []float64) (*OLSModel, error) {
+	if len(xs) != len(us) {
+		return nil, fmt.Errorf("%w: %d inputs vs %d responses", ErrShape, len(xs), len(us))
+	}
+	n := len(xs)
+	if n == 0 {
+		return nil, ErrTooFewObservations
+	}
+	d := len(xs[0])
+	if n < d+1 {
+		return nil, fmt.Errorf("%w: n=%d, need at least %d", ErrTooFewObservations, n, d+1)
+	}
+	// Design matrix with a leading column of ones for the intercept.
+	a := NewMatrix(n, d+1)
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("%w: observation %d has dimension %d, want %d", ErrShape, i, len(x), d)
+		}
+		a.Set(i, 0, 1)
+		for j, v := range x {
+			a.Set(i, j+1, v)
+		}
+	}
+	coef, err := SolveLeastSquares(a, us)
+	if err != nil {
+		return nil, err
+	}
+	m := &OLSModel{Intercept: coef[0], Slope: append([]float64(nil), coef[1:]...), N: n}
+	// Diagnostics.
+	mean := 0.0
+	for _, u := range us {
+		mean += u
+	}
+	mean /= float64(n)
+	for i, x := range xs {
+		r := us[i] - m.Predict(x)
+		m.RSS += r * r
+		t := us[i] - mean
+		m.TSS += t * t
+	}
+	return m, nil
+}
+
+// Predict returns the fitted value b0 + b·x.
+func (m *OLSModel) Predict(x []float64) float64 {
+	s := m.Intercept
+	for j, b := range m.Slope {
+		s += b * x[j]
+	}
+	return s
+}
+
+// R2 returns the coefficient of determination 1 - RSS/TSS on the training
+// data. When the response is constant (TSS == 0) it returns 1 if the fit is
+// exact and 0 otherwise.
+func (m *OLSModel) R2() float64 {
+	if m.TSS == 0 {
+		if m.RSS == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - m.RSS/m.TSS
+}
+
+// FVU returns the fraction of variance unexplained RSS/TSS on the training
+// data (the paper's goodness-of-fit metric s). For a constant response it
+// returns 0 for an exact fit and +Inf otherwise.
+func (m *OLSModel) FVU() float64 {
+	if m.TSS == 0 {
+		if m.RSS == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return m.RSS / m.TSS
+}

@@ -1,0 +1,173 @@
+// Package quant implements the conditionally growing Adaptive Vector
+// Quantization (AVQ) algorithm of Section IV of the paper: prototypes over
+// the query space are updated by stochastic gradient descent toward incoming
+// queries, and a new prototype is spawned whenever the closest existing
+// prototype is farther than the vigilance threshold ρ. The number of
+// prototypes K is therefore data-driven rather than fixed a priori.
+package quant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"llmq/internal/vector"
+)
+
+// Errors returned by the quantizer.
+var (
+	ErrDimension = errors.New("quant: dimension mismatch")
+	ErrNoData    = errors.New("quant: no observations yet")
+)
+
+// Vigilance computes the paper's vigilance threshold ρ = a·(√d + 1) for a
+// resolution coefficient a ∈ (0, 1] over a d-dimensional input space (the
+// query space has dimension d+1: the centre plus the radius).
+func Vigilance(a float64, d int) float64 {
+	return a * (math.Sqrt(float64(d)) + 1)
+}
+
+// Quantizer maintains the growing set of prototypes.
+type Quantizer struct {
+	dim       int
+	vigilance float64
+	protos    []vector.Vec
+	counts    []int
+	drift     float64 // Γ^J of the most recent observation
+}
+
+// New creates a quantizer for dim-dimensional vectors with the given
+// vigilance threshold ρ > 0.
+func New(dim int, vigilance float64) (*Quantizer, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("quant: dimension must be positive, got %d", dim)
+	}
+	if vigilance <= 0 || math.IsNaN(vigilance) || math.IsInf(vigilance, 0) {
+		return nil, fmt.Errorf("quant: vigilance must be positive and finite, got %v", vigilance)
+	}
+	return &Quantizer{dim: dim, vigilance: vigilance}, nil
+}
+
+// Dim returns the dimensionality of the quantized space.
+func (q *Quantizer) Dim() int { return q.dim }
+
+// Vigilance returns the vigilance threshold ρ.
+func (q *Quantizer) Vigilance() float64 { return q.vigilance }
+
+// K returns the current number of prototypes.
+func (q *Quantizer) K() int { return len(q.protos) }
+
+// Prototype returns a copy of the k-th prototype.
+func (q *Quantizer) Prototype(k int) vector.Vec {
+	return q.protos[k].Clone()
+}
+
+// Prototypes returns copies of all prototypes.
+func (q *Quantizer) Prototypes() []vector.Vec {
+	out := make([]vector.Vec, len(q.protos))
+	for i, p := range q.protos {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// Count returns how many observations the k-th prototype has won.
+func (q *Quantizer) Count(k int) int { return q.counts[k] }
+
+// Winner returns the index of the prototype closest (L2) to x and the
+// distance to it. It returns ErrNoData before any observation.
+func (q *Quantizer) Winner(x vector.Vec) (int, float64, error) {
+	if len(x) != q.dim {
+		return 0, 0, fmt.Errorf("%w: got %d, want %d", ErrDimension, len(x), q.dim)
+	}
+	if len(q.protos) == 0 {
+		return 0, 0, ErrNoData
+	}
+	best, bestDist := 0, math.Inf(1)
+	for k, w := range q.protos {
+		if d := vector.Distance(x, w); d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best, bestDist, nil
+}
+
+// Observation describes the outcome of one Observe call.
+type Observation struct {
+	// Winner is the index of the prototype associated with the observation
+	// (either the updated winner or the newly created prototype).
+	Winner int
+	// Created is true when the observation spawned a new prototype.
+	Created bool
+	// Distance is the L2 distance from the observation to the winning
+	// prototype before any update (0 when a prototype was created).
+	Distance float64
+	// Drift is the prototype movement Γ^J caused by this observation
+	// (Σ_k ||w_k,t − w_k,t−1||₂, which has a single non-zero term).
+	Drift float64
+}
+
+// Observe folds one observation into the quantizer using learning rate eta.
+// If the closest prototype is within the vigilance threshold it is moved
+// toward x by Δw = η(x − w); otherwise x becomes a new prototype.
+func (q *Quantizer) Observe(x vector.Vec, eta float64) (Observation, error) {
+	if len(x) != q.dim {
+		return Observation{}, fmt.Errorf("%w: got %d, want %d", ErrDimension, len(x), q.dim)
+	}
+	if eta < 0 || eta > 1 || math.IsNaN(eta) {
+		return Observation{}, fmt.Errorf("quant: learning rate %v outside [0,1]", eta)
+	}
+	if len(q.protos) == 0 {
+		q.protos = append(q.protos, x.Clone())
+		q.counts = append(q.counts, 1)
+		q.drift = 0
+		return Observation{Winner: 0, Created: true}, nil
+	}
+	winner, dist, err := q.Winner(x)
+	if err != nil {
+		return Observation{}, err
+	}
+	if dist > q.vigilance {
+		q.protos = append(q.protos, x.Clone())
+		q.counts = append(q.counts, 1)
+		q.drift = 0
+		return Observation{Winner: len(q.protos) - 1, Created: true, Distance: dist}, nil
+	}
+	// SGD update of the winner toward the observation.
+	w := q.protos[winner]
+	drift := 0.0
+	for i := range w {
+		delta := eta * (x[i] - w[i])
+		w[i] += delta
+		drift += delta * delta
+	}
+	drift = math.Sqrt(drift)
+	q.counts[winner]++
+	q.drift = drift
+	return Observation{Winner: winner, Distance: dist, Drift: drift}, nil
+}
+
+// LastDrift returns the prototype movement Γ^J of the most recent
+// observation.
+func (q *Quantizer) LastDrift() float64 { return q.drift }
+
+// QuantizationError returns the empirical expected quantization error
+// (the objective J of Eq. 7) of the quantizer over the given sample:
+// the mean squared L2 distance from each vector to its winning prototype.
+func (q *Quantizer) QuantizationError(sample []vector.Vec) (float64, error) {
+	if len(q.protos) == 0 {
+		return 0, ErrNoData
+	}
+	if len(sample) == 0 {
+		return 0, errors.New("quant: empty sample")
+	}
+	var sum float64
+	for _, x := range sample {
+		_, d, err := q.Winner(x)
+		if err != nil {
+			return 0, err
+		}
+		sum += d * d
+	}
+	return sum / float64(len(sample)), nil
+}

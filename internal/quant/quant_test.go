@@ -1,0 +1,261 @@
+package quant
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"llmq/internal/vector"
+)
+
+func TestVigilance(t *testing.T) {
+	if got := Vigilance(0.25, 4); math.Abs(got-0.25*3) > 1e-12 {
+		t.Errorf("Vigilance(0.25, 4) = %v", got)
+	}
+	if got := Vigilance(1, 1); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Vigilance(1, 1) = %v", got)
+	}
+	// Higher a gives a larger threshold (coarser quantization).
+	if Vigilance(0.1, 3) >= Vigilance(0.5, 3) {
+		t.Error("vigilance must grow with a")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Error("zero vigilance accepted")
+	}
+	if _, err := New(2, math.NaN()); err == nil {
+		t.Error("NaN vigilance accepted")
+	}
+	q, err := New(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Dim() != 3 || q.Vigilance() != 0.5 || q.K() != 0 {
+		t.Errorf("fresh quantizer: dim=%d ρ=%v K=%d", q.Dim(), q.Vigilance(), q.K())
+	}
+}
+
+func TestFirstObservationCreatesPrototype(t *testing.T) {
+	q, _ := New(2, 0.5)
+	obs, err := q.Observe(vector.Of(0.1, 0.2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Created || obs.Winner != 0 || q.K() != 1 {
+		t.Errorf("obs = %+v, K = %d", obs, q.K())
+	}
+	if !q.Prototype(0).Equal(vector.Of(0.1, 0.2)) {
+		t.Errorf("prototype = %v", q.Prototype(0))
+	}
+	if q.Count(0) != 1 {
+		t.Errorf("count = %d", q.Count(0))
+	}
+}
+
+func TestObserveWithinVigilanceMovesWinner(t *testing.T) {
+	q, _ := New(1, 1.0)
+	_, _ = q.Observe(vector.Of(0.0), 0.5)
+	obs, err := q.Observe(vector.Of(0.4), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Created {
+		t.Fatal("observation within vigilance must not create a prototype")
+	}
+	// w moved from 0 toward 0.4 by eta=0.5: w = 0.2.
+	if math.Abs(q.Prototype(0)[0]-0.2) > 1e-12 {
+		t.Errorf("prototype after update = %v", q.Prototype(0))
+	}
+	if math.Abs(obs.Drift-0.2) > 1e-12 || math.Abs(q.LastDrift()-0.2) > 1e-12 {
+		t.Errorf("drift = %v / %v", obs.Drift, q.LastDrift())
+	}
+	if math.Abs(obs.Distance-0.4) > 1e-12 {
+		t.Errorf("distance = %v", obs.Distance)
+	}
+	if q.Count(0) != 2 {
+		t.Errorf("count = %d", q.Count(0))
+	}
+}
+
+func TestObserveBeyondVigilanceCreatesPrototype(t *testing.T) {
+	q, _ := New(1, 0.5)
+	_, _ = q.Observe(vector.Of(0.0), 0.5)
+	obs, err := q.Observe(vector.Of(2.0), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Created || q.K() != 2 {
+		t.Errorf("obs = %+v, K = %d", obs, q.K())
+	}
+	// The original prototype must be untouched.
+	if q.Prototype(0)[0] != 0 {
+		t.Errorf("non-winner moved: %v", q.Prototype(0))
+	}
+	if obs.Drift != 0 {
+		t.Errorf("creation should report zero drift, got %v", obs.Drift)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	q, _ := New(2, 0.5)
+	if _, err := q.Observe(vector.Of(1), 0.5); !errors.Is(err, ErrDimension) {
+		t.Errorf("dim err = %v", err)
+	}
+	if _, err := q.Observe(vector.Of(1, 2), -0.1); err == nil {
+		t.Error("negative learning rate accepted")
+	}
+	if _, err := q.Observe(vector.Of(1, 2), 1.5); err == nil {
+		t.Error("learning rate > 1 accepted")
+	}
+	if _, err := q.Observe(vector.Of(1, 2), math.NaN()); err == nil {
+		t.Error("NaN learning rate accepted")
+	}
+}
+
+func TestWinner(t *testing.T) {
+	q, _ := New(2, 10)
+	if _, _, err := q.Winner(vector.Of(0, 0)); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty winner err = %v", err)
+	}
+	if _, _, err := q.Winner(vector.Of(0)); !errors.Is(err, ErrDimension) {
+		t.Errorf("dim err = %v", err)
+	}
+	_, _ = q.Observe(vector.Of(0, 0), 0)
+	_, _ = q.Observe(vector.Of(5, 5), 0) // within vigilance 10 → moves winner? eta=0, no move; same prototype
+	// Force a second prototype by shrinking vigilance conceptually: rebuild.
+	q2, _ := New(2, 1)
+	_, _ = q2.Observe(vector.Of(0, 0), 0)
+	_, _ = q2.Observe(vector.Of(5, 5), 0)
+	k, d, err := q2.Winner(vector.Of(4.5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 || math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("winner = %d at %v", k, d)
+	}
+}
+
+func TestVigilanceControlsPrototypeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sample := make([]vector.Vec, 2000)
+	for i := range sample {
+		sample[i] = vector.Of(rng.Float64(), rng.Float64())
+	}
+	countFor := func(vig float64) int {
+		q, _ := New(2, vig)
+		for t, x := range sample {
+			eta := 1.0 / float64(t+2)
+			if _, err := q.Observe(x, eta); err != nil {
+				panic(err)
+			}
+		}
+		return q.K()
+	}
+	coarse := countFor(1.5) // larger than the diameter of [0,1]² → one prototype
+	medium := countFor(0.4)
+	fine := countFor(0.1)
+	if coarse != 1 {
+		t.Errorf("coarse quantization K = %d, want 1", coarse)
+	}
+	if !(fine > medium && medium >= coarse) {
+		t.Errorf("prototype counts not monotone in resolution: fine=%d medium=%d coarse=%d", fine, medium, coarse)
+	}
+}
+
+func TestQuantizationErrorDecreasesWithResolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sample := make([]vector.Vec, 3000)
+	for i := range sample {
+		sample[i] = vector.Of(rng.Float64(), rng.Float64())
+	}
+	eqeFor := func(vig float64) float64 {
+		q, _ := New(2, vig)
+		for t, x := range sample {
+			_, _ = q.Observe(x, 1.0/float64(t+2))
+		}
+		e, err := q.QuantizationError(sample)
+		if err != nil {
+			panic(err)
+		}
+		return e
+	}
+	if fine, coarse := eqeFor(0.1), eqeFor(1.5); fine >= coarse {
+		t.Errorf("EQE should shrink with finer quantization: fine=%v coarse=%v", fine, coarse)
+	}
+}
+
+func TestQuantizationErrorValidation(t *testing.T) {
+	q, _ := New(2, 0.5)
+	if _, err := q.QuantizationError([]vector.Vec{vector.Of(0, 0)}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty quantizer err = %v", err)
+	}
+	_, _ = q.Observe(vector.Of(0, 0), 0.5)
+	if _, err := q.QuantizationError(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := q.QuantizationError([]vector.Vec{vector.Of(0)}); err == nil {
+		t.Error("wrong-dim sample accepted")
+	}
+}
+
+func TestPrototypesReturnsCopies(t *testing.T) {
+	q, _ := New(2, 0.5)
+	_, _ = q.Observe(vector.Of(1, 2), 0.5)
+	ps := q.Prototypes()
+	ps[0][0] = 99
+	if q.Prototype(0)[0] == 99 {
+		t.Error("Prototypes must return copies")
+	}
+	p := q.Prototype(0)
+	p[1] = 99
+	if q.Prototype(0)[1] == 99 {
+		t.Error("Prototype must return a copy")
+	}
+}
+
+func TestDriftShrinksWithLearningRateSchedule(t *testing.T) {
+	// With a hyperbolic schedule and a stationary input distribution, the
+	// per-step drift must eventually become small (convergence of Γ^J).
+	rng := rand.New(rand.NewSource(3))
+	q, _ := New(2, 0.6)
+	var lastDrifts []float64
+	for step := 0; step < 5000; step++ {
+		x := vector.Of(rng.Float64(), rng.Float64())
+		obs, err := q.Observe(x, 1.0/float64(step+2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step >= 4900 {
+			lastDrifts = append(lastDrifts, obs.Drift)
+		}
+	}
+	var max float64
+	for _, d := range lastDrifts {
+		if d > max {
+			max = d
+		}
+	}
+	if max > 0.01 {
+		t.Errorf("late-stage drift too large: %v", max)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	q, _ := New(3, 0.4)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]vector.Vec, 1024)
+	for i := range xs {
+		xs[i] = vector.Of(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = q.Observe(xs[i%len(xs)], 0.01)
+	}
+}

@@ -1,0 +1,260 @@
+// Package serve exposes a trained LLM model and the exact executor of one
+// relation as an HTTP analytics service — the deployment shape sketched in
+// the paper's Figure 2, where the trained model sits between the analyst
+// tools and the DBMS and answers queries without forwarding them to the
+// engine.
+//
+// Endpoints:
+//
+//	POST /query   {"sql": "SELECT APPROX AVG(u) FROM t WITHIN 0.1 OF (0.5, 0.5)"}
+//	              → the parsed statement's answer (model-based for APPROX,
+//	                exact otherwise)
+//	GET  /model   → model metadata (K, steps, convergence, vigilance)
+//	GET  /healthz → liveness probe
+//
+// The handler is a plain http.Handler so it can be mounted into any mux.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"llmq/internal/core"
+	"llmq/internal/exec"
+	"llmq/internal/sqlfront"
+)
+
+// Server answers analytics statements over one relation.
+type Server struct {
+	exec  *exec.Executor
+	model *core.Model
+	mux   *http.ServeMux
+}
+
+// New creates a server. The executor is required; the model may be nil, in
+// which case APPROX statements are rejected with 409.
+func New(e *exec.Executor, m *core.Model) (*Server, error) {
+	if e == nil {
+		return nil, errors.New("serve: executor is required")
+	}
+	s := &Server{exec: e, model: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/model", s.handleModel)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// LocalModelJSON describes one element of a Q2 answer.
+type LocalModelJSON struct {
+	Intercept float64   `json:"intercept"`
+	Slope     []float64 `json:"slope"`
+	Center    []float64 `json:"center"`
+	Theta     float64   `json:"theta"`
+	Weight    float64   `json:"weight"`
+}
+
+// QueryResponse is the body returned by POST /query.
+type QueryResponse struct {
+	Kind    string           `json:"kind"`
+	Approx  bool             `json:"approx"`
+	Mean    *float64         `json:"mean,omitempty"`
+	Value   *float64         `json:"value,omitempty"`
+	Models  []LocalModelJSON `json:"models,omitempty"`
+	Tuples  int              `json:"tuples,omitempty"`
+	Elapsed string           `json:"elapsed"`
+}
+
+// ModelInfo is the body returned by GET /model.
+type ModelInfo struct {
+	Loaded     bool    `json:"loaded"`
+	Prototypes int     `json:"prototypes,omitempty"`
+	Steps      int     `json:"steps,omitempty"`
+	Converged  bool    `json:"converged,omitempty"`
+	Vigilance  float64 `json:"vigilance,omitempty"`
+	Dim        int     `json:"dim,omitempty"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	info := ModelInfo{}
+	if s.model != nil {
+		cfg := s.model.Config()
+		info = ModelInfo{
+			Loaded:     true,
+			Prototypes: s.model.K(),
+			Steps:      s.model.Steps(),
+			Converged:  s.model.Converged(),
+			Vigilance:  cfg.Vigilance,
+			Dim:        cfg.Dim,
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing sql"))
+		return
+	}
+	stmt, err := sqlfront.Parse(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(stmt.Center) != len(s.exec.InputNames()) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("query centre has %d coordinates, relation has %d input attributes",
+				len(stmt.Center), len(s.exec.InputNames())))
+		return
+	}
+	if stmt.Approx && (s.model == nil || s.model.K() == 0) {
+		writeError(w, http.StatusConflict, errors.New("no trained model loaded for APPROX statements"))
+		return
+	}
+	resp, err := s.answer(stmt)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, exec.ErrEmptySubspace) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) answer(stmt *sqlfront.Statement) (*QueryResponse, error) {
+	start := time.Now()
+	resp := &QueryResponse{Kind: stmt.Kind.String(), Approx: stmt.Approx}
+	rq := exec.RadiusQuery{Center: stmt.Center, Theta: stmt.Theta, P: stmt.Norm}
+
+	finish := func() *QueryResponse {
+		resp.Elapsed = time.Since(start).String()
+		return resp
+	}
+
+	switch stmt.Kind {
+	case sqlfront.StmtMean:
+		if stmt.Approx {
+			q, err := core.NewQuery(stmt.Center, stmt.Theta)
+			if err != nil {
+				return nil, err
+			}
+			y, err := s.model.PredictMean(q)
+			if err != nil {
+				return nil, err
+			}
+			resp.Mean = &y
+			return finish(), nil
+		}
+		res, err := s.exec.Mean(rq)
+		if err != nil {
+			return nil, err
+		}
+		resp.Mean = &res.Mean
+		resp.Tuples = res.Count
+		return finish(), nil
+
+	case sqlfront.StmtRegression:
+		if stmt.Approx {
+			q, err := core.NewQuery(stmt.Center, stmt.Theta)
+			if err != nil {
+				return nil, err
+			}
+			locals, err := s.model.Regression(q)
+			if err != nil {
+				return nil, err
+			}
+			for _, lm := range locals {
+				resp.Models = append(resp.Models, LocalModelJSON{
+					Intercept: lm.Intercept,
+					Slope:     lm.Slope,
+					Center:    lm.Center,
+					Theta:     lm.Theta,
+					Weight:    lm.Weight,
+				})
+			}
+			return finish(), nil
+		}
+		res, err := s.exec.Regression(rq)
+		if err != nil {
+			return nil, err
+		}
+		resp.Models = []LocalModelJSON{{
+			Intercept: res.Intercept,
+			Slope:     res.Slope,
+			Center:    stmt.Center,
+			Theta:     stmt.Theta,
+			Weight:    1,
+		}}
+		resp.Tuples = res.Count
+		return finish(), nil
+
+	case sqlfront.StmtValue:
+		if len(stmt.At) != len(stmt.Center) {
+			return nil, fmt.Errorf("AT point has %d coordinates, centre has %d", len(stmt.At), len(stmt.Center))
+		}
+		if stmt.Approx {
+			q, err := core.NewQuery(stmt.Center, stmt.Theta)
+			if err != nil {
+				return nil, err
+			}
+			u, err := s.model.PredictValue(q, stmt.At)
+			if err != nil {
+				return nil, err
+			}
+			resp.Value = &u
+			return finish(), nil
+		}
+		res, err := s.exec.Regression(rq)
+		if err != nil {
+			return nil, err
+		}
+		u := res.Predict(stmt.At)
+		resp.Value = &u
+		resp.Tuples = res.Count
+		return finish(), nil
+	}
+	return nil, fmt.Errorf("unsupported statement kind %v", stmt.Kind)
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"llmq/internal/core"
+	"llmq/internal/dataset"
+	"llmq/internal/engine"
+	"llmq/internal/exec"
+	"llmq/internal/synth"
+	"llmq/internal/workload"
+)
+
+// newServer builds a server over a small synthetic relation, optionally with
+// a trained model.
+func newServer(t *testing.T, withModel bool) *Server {
+	t.Helper()
+	pts, err := synth.Generate(synth.R1Config(5000, 2, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.FromPoints("r1", pts.Xs, pts.Us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := engine.NewCatalog()
+	tab, err := cat.LoadDataset("r1", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := exec.NewExecutorWithGrid(tab, ds.InputNames, ds.OutputName, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *core.Model
+	if withModel {
+		gen, err := workload.NewGenerator(workload.GenConfig{
+			Dim: 2, CenterLo: 0, CenterHi: 1, ThetaMean: 0.12, ThetaStdDev: 0.02, Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := workload.NewHarness(e, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(2)
+		cfg.ResolutionA = 0.1
+		m, _, _, err = h.TrainModel(cfg, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(e, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postQuery(t *testing.T, s *Server, sql string) *httptest.ResponseRecorder {
+	t.Helper()
+	body, _ := json.Marshal(QueryRequest{SQL: sql})
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestNewRequiresExecutor(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil executor accepted")
+	}
+}
+
+func TestHealthAndModelEndpoints(t *testing.T) {
+	s := newServer(t, true)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/model", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("model status = %d", rec.Code)
+	}
+	var info ModelInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Loaded || info.Prototypes == 0 || info.Dim != 2 {
+		t.Errorf("model info = %+v", info)
+	}
+	// Wrong method.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/model", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /model status = %d", rec.Code)
+	}
+}
+
+func TestModelEndpointWithoutModel(t *testing.T) {
+	s := newServer(t, false)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/model", nil))
+	var info ModelInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Loaded {
+		t.Error("model reported loaded without one")
+	}
+}
+
+func TestExactAndApproxMeanQueries(t *testing.T) {
+	s := newServer(t, true)
+	exact := postQuery(t, s, "SELECT AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)")
+	if exact.Code != http.StatusOK {
+		t.Fatalf("exact status = %d body %s", exact.Code, exact.Body.String())
+	}
+	var exactResp QueryResponse
+	if err := json.Unmarshal(exact.Body.Bytes(), &exactResp); err != nil {
+		t.Fatal(err)
+	}
+	if exactResp.Mean == nil || exactResp.Tuples == 0 || exactResp.Approx {
+		t.Errorf("exact response = %+v", exactResp)
+	}
+	approx := postQuery(t, s, "SELECT APPROX AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)")
+	if approx.Code != http.StatusOK {
+		t.Fatalf("approx status = %d body %s", approx.Code, approx.Body.String())
+	}
+	var approxResp QueryResponse
+	if err := json.Unmarshal(approx.Body.Bytes(), &approxResp); err != nil {
+		t.Fatal(err)
+	}
+	if approxResp.Mean == nil || !approxResp.Approx || approxResp.Tuples != 0 {
+		t.Errorf("approx response = %+v", approxResp)
+	}
+	// The two answers should agree loosely (same subspace).
+	if diff := *exactResp.Mean - *approxResp.Mean; diff > 1 || diff < -1 {
+		t.Errorf("exact %v vs approx %v diverge wildly", *exactResp.Mean, *approxResp.Mean)
+	}
+}
+
+func TestRegressionAndValueQueries(t *testing.T) {
+	s := newServer(t, true)
+	for _, sql := range []string{
+		"SELECT REGRESSION(u ON x1, x2) FROM r1 WITHIN 0.15 OF (0.5, 0.5)",
+		"SELECT APPROX REGRESSION(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)",
+	} {
+		rec := postQuery(t, s, sql)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d body %s", sql, rec.Code, rec.Body.String())
+		}
+		var resp QueryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Models) == 0 || resp.Kind != "regression" {
+			t.Errorf("%s: response %+v", sql, resp)
+		}
+	}
+	for _, sql := range []string{
+		"SELECT VALUE(u) FROM r1 AT (0.5, 0.5) WITHIN 0.15 OF (0.5, 0.5)",
+		"SELECT APPROX VALUE(u) FROM r1 AT (0.5, 0.5) WITHIN 0.15 OF (0.5, 0.5)",
+	} {
+		rec := postQuery(t, s, sql)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d body %s", sql, rec.Code, rec.Body.String())
+		}
+		var resp QueryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Value == nil || resp.Kind != "value" {
+			t.Errorf("%s: response %+v", sql, resp)
+		}
+	}
+}
+
+func TestQueryErrorPaths(t *testing.T) {
+	s := newServer(t, false)
+	// Method not allowed.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status = %d", rec.Code)
+	}
+	// Bad JSON.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader("{")))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad json status = %d", rec.Code)
+	}
+	// Missing SQL.
+	if rec := postQuery(t, s, ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty sql status = %d", rec.Code)
+	}
+	// Parse error.
+	if rec := postQuery(t, s, "DROP TABLE r1"); rec.Code != http.StatusBadRequest {
+		t.Errorf("parse error status = %d", rec.Code)
+	}
+	// Wrong dimensionality.
+	if rec := postQuery(t, s, "SELECT AVG(u) FROM r1 WITHIN 0.1 OF (0.5)"); rec.Code != http.StatusBadRequest {
+		t.Errorf("wrong dim status = %d", rec.Code)
+	}
+	// APPROX without a model.
+	if rec := postQuery(t, s, "SELECT APPROX AVG(u) FROM r1 WITHIN 0.1 OF (0.5, 0.5)"); rec.Code != http.StatusConflict {
+		t.Errorf("approx without model status = %d", rec.Code)
+	}
+	// Empty subspace maps to 404.
+	if rec := postQuery(t, s, "SELECT AVG(u) FROM r1 WITHIN 0.0001 OF (55, 55)"); rec.Code != http.StatusNotFound {
+		t.Errorf("empty subspace status = %d", rec.Code)
+	}
+}

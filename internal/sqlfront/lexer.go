@@ -1,0 +1,158 @@
+// Package sqlfront implements the declarative front-end for the analytics
+// queries of the paper: a small SQL-like dialect for mean-value (Q1) and
+// linear-regression (Q2) queries over data subspaces defined by radius
+// selections, e.g.
+//
+//	SELECT AVG(u) FROM seismic WITHIN 0.2 OF (0.5, 0.5);
+//	SELECT REGRESSION(u ON lon, lat) FROM seismic WITHIN 0.2 OF (0.5, 0.5) NORM L2;
+//	SELECT APPROX AVG(u) FROM seismic WITHIN 0.2 OF (0.5, 0.5);
+//
+// The APPROX modifier routes the query to the trained LLM model instead of
+// the exact executor. The package provides the tokenizer, the AST and the
+// parser; binding to executors lives with the callers (cmd/llmq and the
+// examples).
+package sqlfront
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies a lexical token.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokenEOF TokenKind = iota
+	TokenIdent
+	TokenNumber
+	TokenKeyword
+	TokenComma
+	TokenLParen
+	TokenRParen
+	TokenSemicolon
+	TokenStar
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokenEOF:
+		return "EOF"
+	case TokenIdent:
+		return "identifier"
+	case TokenNumber:
+		return "number"
+	case TokenKeyword:
+		return "keyword"
+	case TokenComma:
+		return ","
+	case TokenLParen:
+		return "("
+	case TokenRParen:
+		return ")"
+	case TokenSemicolon:
+		return ";"
+	case TokenStar:
+		return "*"
+	default:
+		return "unknown"
+	}
+}
+
+// Token is one lexical token with its source position (1-based column).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// keywords recognized by the dialect (case-insensitive).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WITHIN": true, "OF": true,
+	"AVG": true, "REGRESSION": true, "ON": true, "NORM": true,
+	"APPROX": true, "EXACT": true, "PREDICT": true, "VALUE": true,
+	"AT": true,
+}
+
+// SyntaxError describes a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos     int
+	Message string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: syntax error at position %d: %s", e.Pos, e.Message)
+}
+
+func errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Message: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes the input statement.
+func Lex(input string) ([]Token, error) {
+	var tokens []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			tokens = append(tokens, Token{Kind: TokenComma, Text: ",", Pos: i + 1})
+			i++
+		case c == '(':
+			tokens = append(tokens, Token{Kind: TokenLParen, Text: "(", Pos: i + 1})
+			i++
+		case c == ')':
+			tokens = append(tokens, Token{Kind: TokenRParen, Text: ")", Pos: i + 1})
+			i++
+		case c == ';':
+			tokens = append(tokens, Token{Kind: TokenSemicolon, Text: ";", Pos: i + 1})
+			i++
+		case c == '*':
+			tokens = append(tokens, Token{Kind: TokenStar, Text: "*", Pos: i + 1})
+			i++
+		case unicode.IsDigit(c) || c == '-' || c == '+' || c == '.':
+			start := i
+			i++
+			for i < n {
+				d := rune(input[i])
+				if unicode.IsDigit(d) || d == '.' || d == 'e' || d == 'E' ||
+					((d == '-' || d == '+') && (input[i-1] == 'e' || input[i-1] == 'E')) {
+					i++
+					continue
+				}
+				break
+			}
+			text := input[start:i]
+			if text == "-" || text == "+" || text == "." {
+				return nil, errf(start+1, "unexpected character %q", text)
+			}
+			tokens = append(tokens, Token{Kind: TokenNumber, Text: text, Pos: start + 1})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			i++
+			for i < n {
+				d := rune(input[i])
+				if unicode.IsLetter(d) || unicode.IsDigit(d) || d == '_' {
+					i++
+					continue
+				}
+				break
+			}
+			text := input[start:i]
+			kind := TokenIdent
+			if keywords[strings.ToUpper(text)] {
+				kind = TokenKeyword
+				text = strings.ToUpper(text)
+			}
+			tokens = append(tokens, Token{Kind: kind, Text: text, Pos: start + 1})
+		default:
+			return nil, errf(i+1, "unexpected character %q", string(c))
+		}
+	}
+	tokens = append(tokens, Token{Kind: TokenEOF, Pos: n + 1})
+	return tokens, nil
+}

@@ -1,0 +1,367 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Variance() != 0 {
+		t.Fatal("zero value should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if !close(r.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+	if !close(r.Variance(), 4, 1e-12) {
+		t.Errorf("Variance = %v", r.Variance())
+	}
+	if !close(r.StdDev(), 2, 1e-12) {
+		t.Errorf("StdDev = %v", r.StdDev())
+	}
+	if !close(r.SampleVariance(), 32.0/7.0, 1e-12) {
+		t.Errorf("SampleVariance = %v", r.SampleVariance())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingleSample(t *testing.T) {
+	var r Running
+	r.Add(3)
+	if r.Variance() != 0 || r.SampleVariance() != 0 {
+		t.Error("variance of single sample should be 0")
+	}
+	if r.Min() != 3 || r.Max() != 3 {
+		t.Error("min/max of single sample")
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 1
+	}
+	var all, a, b Running
+	for i, x := range xs {
+		all.Add(x)
+		if i < 70 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() || !close(a.Mean(), all.Mean(), 1e-10) || !close(a.Variance(), all.Variance(), 1e-10) {
+		t.Errorf("merged = (%d, %v, %v), sequential = (%d, %v, %v)",
+			a.N(), a.Mean(), a.Variance(), all.N(), all.Mean(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Error("merged min/max mismatch")
+	}
+	// Merging into an empty accumulator copies, merging an empty is a no-op.
+	var empty Running
+	empty.Merge(a)
+	if empty.N() != a.N() {
+		t.Error("merge into empty failed")
+	}
+	before := a
+	var empty2 Running
+	a.Merge(empty2)
+	if a != before {
+		t.Error("merging empty should be a no-op")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Errorf("Mean = %v, %v", m, err)
+	}
+	v, err := Variance([]float64{1, 2, 3, 4})
+	if err != nil || !close(v, 1.25, 1e-12) {
+		t.Errorf("Variance = %v, %v", v, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil) err = %v", err)
+	}
+	if _, err := Variance(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Variance(nil) err = %v", err)
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	actual := []float64{1, 2, 3}
+	pred := []float64{1, 2, 3}
+	if e, _ := RMSE(actual, pred); e != 0 {
+		t.Errorf("RMSE perfect = %v", e)
+	}
+	e, err := RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil || !close(e, math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMSE = %v, %v", e, err)
+	}
+	m, err := MAE([]float64{0, 0}, []float64{3, -4})
+	if err != nil || m != 3.5 {
+		t.Errorf("MAE = %v, %v", m, err)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("RMSE length mismatch should error")
+	}
+	if _, err := RMSE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("RMSE empty err = %v", err)
+	}
+	if _, err := MAE([]float64{1}, nil); err == nil {
+		t.Error("MAE length mismatch should error")
+	}
+	if _, err := MAE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MAE empty err = %v", err)
+	}
+}
+
+func TestSSRTSSFit(t *testing.T) {
+	actual := []float64{1, 2, 3, 4}
+	pred := []float64{1.5, 1.5, 3.5, 3.5}
+	ssr, err := SSR(actual, pred)
+	if err != nil || !close(ssr, 1, 1e-12) {
+		t.Errorf("SSR = %v, %v", ssr, err)
+	}
+	tss, err := TSS(actual)
+	if err != nil || !close(tss, 5, 1e-12) {
+		t.Errorf("TSS = %v, %v", tss, err)
+	}
+	g, err := Fit(actual, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(g.FVU, 0.2, 1e-12) || !close(g.CoD, 0.8, 1e-12) || g.N != 4 {
+		t.Errorf("Fit = %+v", g)
+	}
+	if _, err := SSR([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("SSR length mismatch should error")
+	}
+	if _, err := TSS(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("TSS empty err = %v", err)
+	}
+	if _, err := Fit(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Fit empty err = %v", err)
+	}
+	if _, err := Fit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("Fit length mismatch should error")
+	}
+}
+
+func TestFitConstantResponse(t *testing.T) {
+	g, err := Fit([]float64{2, 2, 2}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FVU != 0 || g.CoD != 1 {
+		t.Errorf("perfect constant fit = %+v", g)
+	}
+	g, err = Fit([]float64{2, 2, 2}, []float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(g.FVU, 1) || !math.IsInf(g.CoD, -1) {
+		t.Errorf("bad constant fit = %+v", g)
+	}
+}
+
+func TestFitWorseThanMeanGivesFVUAboveOne(t *testing.T) {
+	// Predictions anti-correlated with the actual values: FVU > 1, CoD < 0,
+	// matching the paper's interpretation of a bad fit.
+	actual := []float64{0, 1, 2, 3}
+	pred := []float64{3, 2, 1, 0}
+	g, err := Fit(actual, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FVU <= 1 {
+		t.Errorf("FVU = %v, want > 1", g.FVU)
+	}
+	if g.CoD >= 0 {
+		t.Errorf("CoD = %v, want < 0", g.CoD)
+	}
+}
+
+func TestQuantileMedian(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	med, err := Median(xs)
+	if err != nil || med != 3 {
+		t.Errorf("Median = %v, %v", med, err)
+	}
+	q0, _ := Quantile(xs, 0)
+	q1, _ := Quantile(xs, 1)
+	if q0 != 1 || q1 != 5 {
+		t.Errorf("extremes = %v %v", q0, q1)
+	}
+	q25, _ := Quantile(xs, 0.25)
+	if q25 != 2 {
+		t.Errorf("q25 = %v", q25)
+	}
+	// Interpolated quantile.
+	q, _ := Quantile([]float64{0, 10}, 0.75)
+	if !close(q, 7.5, 1e-12) {
+		t.Errorf("interpolated = %v", q)
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("out-of-range q should error")
+	}
+	single, _ := Quantile([]float64{7}, 0.3)
+	if single != 7 {
+		t.Errorf("single-element quantile = %v", single)
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Error("Quantile must not modify its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !close(s.StdDev, math.Sqrt(2), 1e-12) {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestCovariancePearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	c, err := Covariance(xs, ys)
+	if err != nil || !close(c, 2.5, 1e-12) {
+		t.Errorf("Covariance = %v, %v", c, err)
+	}
+	p, err := Pearson(xs, ys)
+	if err != nil || !close(p, 1, 1e-12) {
+		t.Errorf("Pearson = %v, %v", p, err)
+	}
+	pneg, _ := Pearson(xs, []float64{8, 6, 4, 2})
+	if !close(pneg, -1, 1e-12) {
+		t.Errorf("Pearson negative = %v", pneg)
+	}
+	pzero, _ := Pearson(xs, []float64{1, 1, 1, 1})
+	if pzero != 0 {
+		t.Errorf("Pearson with constant series = %v", pzero)
+	}
+	if _, err := Covariance([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Covariance(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("Pearson length mismatch should error")
+	}
+}
+
+// Property: Running mean/variance agree with the batch formulas.
+func TestPropertyRunningMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Clamp to a sane range to avoid overflow-driven false negatives.
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var r Running
+		for _, x := range xs {
+			r.Add(x)
+		}
+		bm, _ := Mean(xs)
+		bv, _ := Variance(xs)
+		scale := 1.0 + math.Abs(bm)
+		return close(r.Mean(), bm, 1e-6*scale) && close(r.Variance(), bv, 1e-5*(1+bv))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RMSE is symmetric in its two arguments. Inputs are clamped so
+// squared differences cannot overflow.
+func TestPropertyRMSESymmetry(t *testing.T) {
+	clampAll := func(in [6]float64) []float64 {
+		out := make([]float64, len(in))
+		for i, x := range in {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			out[i] = math.Mod(x, 1e6)
+		}
+		return out
+	}
+	f := func(a, b [6]float64) bool {
+		x, y := clampAll(a), clampAll(b)
+		e1, err1 := RMSE(x, y)
+		e2, err2 := RMSE(y, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return close(e1, e2, 1e-9*(1+e1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CoD = 1 - FVU whenever TSS > 0.
+func TestPropertyCoDComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		n := 3 + rng.Intn(20)
+		actual := make([]float64, n)
+		pred := make([]float64, n)
+		for j := range actual {
+			actual[j] = rng.NormFloat64()
+			pred[j] = rng.NormFloat64()
+		}
+		g, err := Fit(actual, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close(g.CoD, 1-g.FVU, 1e-12) {
+			t.Fatalf("CoD %v != 1-FVU %v", g.CoD, 1-g.FVU)
+		}
+	}
+}
+
+func BenchmarkRunningAdd(b *testing.B) {
+	var r Running
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(float64(i % 1000))
+	}
+}

@@ -1,0 +1,207 @@
+// Package synth generates the synthetic datasets used for evaluation.
+//
+// The paper evaluates on two datasets:
+//
+//   - R1: a real 6-attribute gas-sensor calibration dataset (Rodriguez-Lujan
+//     et al.) extended with Gaussian noise to 15·10⁶ vectors, scaled to [0,1],
+//     with strong non-linear dependencies (global-fit FVU ≈ 4.68). We do not
+//     have the proprietary file, so SensorSurrogate provides a highly
+//     non-linear multi-attribute response surface with the same qualitative
+//     properties (real-valued inputs in [0,1], FVU of a single global linear
+//     fit well above 1).
+//   - R2: the Rosenbrock benchmark function over [-10,10]^d with N(0,1) noise.
+//
+// All generators are deterministic given a seed.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DataFunc is an underlying data function u = g(x).
+type DataFunc func(x []float64) float64
+
+// Rosenbrock returns the d-dimensional Rosenbrock function
+// g(x) = Σ_{i=1}^{d-1} 100(x_{i+1} - x_i²)² + (1 - x_i)², the R2 benchmark.
+// For d == 1 it degenerates to (1-x)².
+func Rosenbrock(x []float64) float64 {
+	if len(x) == 1 {
+		d := 1 - x[0]
+		return d * d
+	}
+	var s float64
+	for i := 0; i+1 < len(x); i++ {
+		a := x[i+1] - x[i]*x[i]
+		b := 1 - x[i]
+		s += 100*a*a + b*b
+	}
+	return s
+}
+
+// SensorSurrogate returns a highly non-linear response surface standing in
+// for the gas-sensor dataset R1. Inputs are expected in [0,1]^d; the output
+// mixes piecewise trends (absolute-value kinks at attribute-specific break
+// points), sensor-like saturation, pairwise interactions and a smooth
+// periodic drift, so that
+//
+//   - a single linear model over a broad subspace explains little (the trend
+//     changes inside the subspace, as in Figure 1 (right) of the paper), while
+//   - piecewise local linear models capture the per-region trends well —
+//
+// exactly the regime the paper's R1 evaluation exercises.
+func SensorSurrogate(x []float64) float64 {
+	var s float64
+	for i, xi := range x {
+		// Trend change: a kink whose location and direction vary by attribute.
+		breakpoint := 0.3 + 0.35*float64(i%3)/2 // 0.3, 0.475, 0.65, 0.3, ...
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1
+		}
+		s += sign * 2.5 * math.Abs(xi-breakpoint)
+		// Sensor saturation/drift.
+		s += 0.5 / (1 + math.Exp(-10*(xi-0.5)))
+		// Pairwise interaction between neighbouring attributes.
+		if i+1 < len(x) {
+			s += 1.5 * xi * x[i+1]
+		}
+	}
+	// Smooth periodic drift on the first attribute (one period per range).
+	s += 0.3 * math.Sin(2*math.Pi*x[0])
+	return s
+}
+
+// Paraboloid returns Σ x_i², a simple convex test function used by unit
+// tests where the exact local linear behaviour is easy to reason about.
+func Paraboloid(x []float64) float64 {
+	var s float64
+	for _, xi := range x {
+		s += xi * xi
+	}
+	return s
+}
+
+// Plane returns a linear data function b0 + b·x. Useful for tests: every
+// local linear model should recover b exactly.
+func Plane(b0 float64, b []float64) DataFunc {
+	coef := append([]float64(nil), b...)
+	return func(x []float64) float64 {
+		s := b0
+		for i, bi := range coef {
+			s += bi * x[i]
+		}
+		return s
+	}
+}
+
+// Saddle is the 2-D data function u = x1·(x2+1) used in the paper's
+// Examples 2 & 3 (Figure 4). For d > 2 the extra coordinates are ignored;
+// it panics for d < 2.
+func Saddle(x []float64) float64 {
+	if len(x) < 2 {
+		panic("synth: Saddle requires at least 2 dimensions")
+	}
+	return x[0] * (x[1] + 1)
+}
+
+// Config describes a synthetic dataset to generate.
+type Config struct {
+	// Name identifies the dataset (e.g. "R1", "R2").
+	Name string
+	// N is the number of points to generate.
+	N int
+	// Dim is the input dimensionality d.
+	Dim int
+	// Lo and Hi bound each input attribute (points are uniform in [Lo,Hi]^d).
+	Lo, Hi float64
+	// Func is the underlying data function u = g(x).
+	Func DataFunc
+	// NoiseStdDev is the standard deviation of additive Gaussian output noise.
+	NoiseStdDev float64
+	// Seed seeds the deterministic generator.
+	Seed int64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("synth: N must be positive, got %d", c.N)
+	}
+	if c.Dim <= 0 {
+		return fmt.Errorf("synth: Dim must be positive, got %d", c.Dim)
+	}
+	if !(c.Hi > c.Lo) {
+		return fmt.Errorf("synth: need Hi > Lo, got [%v,%v]", c.Lo, c.Hi)
+	}
+	if c.Func == nil {
+		return fmt.Errorf("synth: Func must not be nil")
+	}
+	if c.NoiseStdDev < 0 {
+		return fmt.Errorf("synth: negative noise std dev %v", c.NoiseStdDev)
+	}
+	return nil
+}
+
+// Points holds generated inputs and outputs: Us[i] = Func(Xs[i]) + noise.
+type Points struct {
+	Name string
+	Dim  int
+	Xs   [][]float64
+	Us   []float64
+}
+
+// Generate produces N points according to the configuration.
+func Generate(c Config) (*Points, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	p := &Points{Name: c.Name, Dim: c.Dim, Xs: make([][]float64, c.N), Us: make([]float64, c.N)}
+	span := c.Hi - c.Lo
+	for i := 0; i < c.N; i++ {
+		x := make([]float64, c.Dim)
+		for j := range x {
+			x[j] = c.Lo + span*rng.Float64()
+		}
+		u := c.Func(x)
+		if c.NoiseStdDev > 0 {
+			u += rng.NormFloat64() * c.NoiseStdDev
+		}
+		p.Xs[i] = x
+		p.Us[i] = u
+	}
+	return p, nil
+}
+
+// R1Config returns the default configuration of the R1 surrogate: dim-d
+// inputs in [0,1], the SensorSurrogate response with mild noise.
+func R1Config(n, dim int, seed int64) Config {
+	return Config{
+		Name:        "R1",
+		N:           n,
+		Dim:         dim,
+		Lo:          0,
+		Hi:          1,
+		Func:        SensorSurrogate,
+		NoiseStdDev: 0.05,
+		Seed:        seed,
+	}
+}
+
+// R2Config returns the default configuration of the R2 Rosenbrock dataset:
+// dim-d inputs in [-10,10], Rosenbrock response with N(0,1) noise, as in the
+// paper.
+func R2Config(n, dim int, seed int64) Config {
+	return Config{
+		Name:        "R2",
+		N:           n,
+		Dim:         dim,
+		Lo:          -10,
+		Hi:          10,
+		Func:        Rosenbrock,
+		NoiseStdDev: 1,
+		Seed:        seed,
+	}
+}

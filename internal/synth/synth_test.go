@@ -1,0 +1,231 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRosenbrockGlobalMinimum(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 5, 8} {
+		x := make([]float64, d)
+		for i := range x {
+			x[i] = 1
+		}
+		if got := Rosenbrock(x); got != 0 {
+			t.Errorf("d=%d: Rosenbrock(1,...,1) = %v, want 0", d, got)
+		}
+	}
+}
+
+func TestRosenbrockKnownValues(t *testing.T) {
+	// d=2: f(0,0) = 100*(0-0)^2 + (1-0)^2 = 1.
+	if got := Rosenbrock([]float64{0, 0}); got != 1 {
+		t.Errorf("f(0,0) = %v, want 1", got)
+	}
+	// d=2: f(1,2) = 100*(2-1)^2 + 0 = 100.
+	if got := Rosenbrock([]float64{1, 2}); got != 100 {
+		t.Errorf("f(1,2) = %v, want 100", got)
+	}
+	// d=1 degenerate: (1-x)^2.
+	if got := Rosenbrock([]float64{3}); got != 4 {
+		t.Errorf("f(3) = %v, want 4", got)
+	}
+}
+
+func TestRosenbrockNonNegative(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		x := []float64{math.Mod(a, 10), math.Mod(b, 10), math.Mod(c, 10)}
+		for i, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				x[i] = 0
+			}
+		}
+		return Rosenbrock(x) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSensorSurrogateFiniteAndNonLinear(t *testing.T) {
+	// Finite on the unit cube.
+	p, err := Generate(Config{Name: "t", N: 500, Dim: 6, Lo: 0, Hi: 1, Func: SensorSurrogate, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range p.Us {
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			t.Fatalf("point %d: non-finite output %v", i, u)
+		}
+	}
+	// Non-linearity: the function value at the midpoint of two inputs must
+	// differ from the midpoint of the values for at least some pairs.
+	nonlinear := false
+	for i := 0; i+1 < 100; i += 2 {
+		a, b := p.Xs[i], p.Xs[i+1]
+		mid := make([]float64, len(a))
+		for j := range a {
+			mid[j] = (a[j] + b[j]) / 2
+		}
+		lhs := SensorSurrogate(mid)
+		rhs := (SensorSurrogate(a) + SensorSurrogate(b)) / 2
+		if math.Abs(lhs-rhs) > 1e-3 {
+			nonlinear = true
+			break
+		}
+	}
+	if !nonlinear {
+		t.Error("SensorSurrogate appears linear; it must be non-linear for the R1 surrogate")
+	}
+}
+
+func TestParaboloidAndSaddle(t *testing.T) {
+	if Paraboloid([]float64{3, 4}) != 25 {
+		t.Error("Paraboloid(3,4) != 25")
+	}
+	if Paraboloid(nil) != 0 {
+		t.Error("Paraboloid() != 0")
+	}
+	if Saddle([]float64{2, 3}) != 8 {
+		t.Error("Saddle(2,3) != 8")
+	}
+	if Saddle([]float64{2, 3, 9}) != 8 {
+		t.Error("Saddle must ignore extra coordinates")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Saddle with d<2 should panic")
+		}
+	}()
+	Saddle([]float64{1})
+}
+
+func TestPlane(t *testing.T) {
+	g := Plane(1, []float64{2, -3})
+	if g([]float64{1, 1}) != 0 {
+		t.Errorf("Plane = %v, want 0", g([]float64{1, 1}))
+	}
+	// Plane must copy the coefficient slice.
+	b := []float64{1}
+	g2 := Plane(0, b)
+	b[0] = 100
+	if g2([]float64{1}) != 1 {
+		t.Error("Plane must not alias the caller's slice")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := Config{Name: "x", N: 10, Dim: 2, Lo: 0, Hi: 1, Func: Paraboloid}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	cases := []Config{
+		{N: 0, Dim: 2, Lo: 0, Hi: 1, Func: Paraboloid},
+		{N: 10, Dim: 0, Lo: 0, Hi: 1, Func: Paraboloid},
+		{N: 10, Dim: 2, Lo: 1, Hi: 1, Func: Paraboloid},
+		{N: 10, Dim: 2, Lo: 0, Hi: 1, Func: nil},
+		{N: 10, Dim: 2, Lo: 0, Hi: 1, Func: Paraboloid, NoiseStdDev: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndInRange(t *testing.T) {
+	cfg := R1Config(1000, 3, 42)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Xs) != 1000 || len(a.Us) != 1000 || a.Dim != 3 {
+		t.Fatalf("unexpected sizes: %d %d %d", len(a.Xs), len(a.Us), a.Dim)
+	}
+	for i := range a.Xs {
+		for j := range a.Xs[i] {
+			if a.Xs[i][j] != b.Xs[i][j] {
+				t.Fatal("generation is not deterministic for equal seeds")
+			}
+			if a.Xs[i][j] < 0 || a.Xs[i][j] > 1 {
+				t.Fatalf("point %d outside [0,1]: %v", i, a.Xs[i])
+			}
+		}
+		if a.Us[i] != b.Us[i] {
+			t.Fatal("outputs not deterministic")
+		}
+	}
+	// Different seed gives different data.
+	c, _ := Generate(R1Config(1000, 3, 43))
+	same := true
+	for i := range a.Us {
+		if a.Us[i] != c.Us[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical outputs")
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}
+
+func TestR2ConfigRanges(t *testing.T) {
+	p, err := Generate(R2Config(500, 2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range p.Xs {
+		for _, v := range x {
+			if v < -10 || v > 10 {
+				t.Fatalf("R2 point out of range: %v", x)
+			}
+		}
+	}
+	if p.Name != "R2" {
+		t.Errorf("name = %q", p.Name)
+	}
+}
+
+func TestNoiseChangesOutputs(t *testing.T) {
+	base := Config{Name: "clean", N: 200, Dim: 2, Lo: 0, Hi: 1, Func: Paraboloid, Seed: 5}
+	noisy := base
+	noisy.NoiseStdDev = 0.5
+	a, _ := Generate(base)
+	b, _ := Generate(noisy)
+	diff := 0
+	for i := range a.Us {
+		if a.Us[i] != b.Us[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("noise had no effect on outputs")
+	}
+	// Clean outputs equal the function exactly.
+	for i := range a.Us {
+		if a.Us[i] != Paraboloid(a.Xs[i]) {
+			t.Fatal("noise-free generation must equal the data function")
+		}
+	}
+}
+
+func BenchmarkGenerateR2_10k(b *testing.B) {
+	cfg := R2Config(10000, 5, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
