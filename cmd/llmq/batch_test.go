@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// setupBatchEnv generates a dataset and trains a model once for the batch
+// subcommand tests.
+func setupBatchEnv(t *testing.T) (data, model string) {
+	t.Helper()
+	dir := t.TempDir()
+	data = filepath.Join(dir, "r1.csv")
+	model = filepath.Join(dir, "model.json")
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-dataset", "R1", "-n", "4000", "-dim", "2", "-seed", "3", "-o", data}, &out); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if err := run([]string{"train", "-data", data, "-a", "0.2", "-pairs", "1200", "-o", model}, &out); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	return data, model
+}
+
+func writeStatements(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "statements.sql")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBatchAllApproxMean(t *testing.T) {
+	data, model := setupBatchEnv(t)
+	file := writeStatements(t,
+		"# a comment line",
+		"SELECT APPROX AVG(u) FROM r1 WITHIN 0.2 OF (0.5, 0.5)",
+		"",
+		"SELECT APPROX AVG(u) FROM r1 WITHIN 0.15 OF (0.3, 0.7)",
+		"SELECT APPROX AVG(u) FROM r1 WITHIN 0.1 OF (0.8, 0.2)",
+	)
+	var out bytes.Buffer
+	if err := run([]string{"batch", "-data", data, "-model", model, "-file", file}, &out); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"[1] approx AVG(u)", "[2]", "[3]", "answered 3 statements"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBatchMixedStatements(t *testing.T) {
+	data, model := setupBatchEnv(t)
+	file := writeStatements(t,
+		"SELECT AVG(u) FROM r1 WITHIN 0.2 OF (0.5, 0.5)",
+		"SELECT APPROX REGRESSION(u) FROM r1 WITHIN 0.2 OF (0.5, 0.5)",
+		"SELECT AVG(u) FROM r1 WITHIN 0.0000001 OF (0.9, 0.9)", // empty subspace
+	)
+	var out bytes.Buffer
+	if err := run([]string{"batch", "-data", data, "-model", model, "-file", file}, &out); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "[1] AVG(u)") {
+		t.Errorf("exact result missing:\n%s", got)
+	}
+	if !strings.Contains(got, "local linear model") {
+		t.Errorf("regression result missing:\n%s", got)
+	}
+	if !strings.Contains(got, "[3] error:") {
+		t.Errorf("empty-subspace error missing:\n%s", got)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	data, _ := setupBatchEnv(t)
+	okFile := writeStatements(t, "SELECT APPROX AVG(u) FROM r1 WITHIN 0.2 OF (0.5, 0.5)")
+	var out bytes.Buffer
+	cases := [][]string{
+		{"batch"},                // missing flags
+		{"batch", "-data", data}, // missing file
+		{"batch", "-data", data, "-file", "/nope.sql"}, // unreadable file
+		{"batch", "-data", data, "-file", okFile},      // approx without model
+		{"batch", "-data", data, "-file", writeStatements(t, "# only comments")},
+		{"batch", "-data", data, "-file", writeStatements(t, "NOT SQL")},
+		{"batch", "-data", data, "-file", writeStatements(t, "SELECT AVG(u) FROM r1 WITHIN 0.1 OF (0.5)")}, // wrong dim
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

@@ -14,6 +14,8 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,6 +52,8 @@ func run(args []string, out io.Writer) error {
 		return cmdTrain(args[1:], out)
 	case "query":
 		return cmdQuery(args[1:], out)
+	case "batch":
+		return cmdBatch(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -66,6 +70,7 @@ subcommands:
   generate  generate a synthetic dataset (R1 sensor surrogate or R2 Rosenbrock) as CSV
   train     execute a random query workload against the dataset and train an LLM model
   query     answer a SQL-like analytics statement exactly or with a trained model
+  batch     answer a file of statements (one per line) in parallel over a worker pool
 `)
 }
 
@@ -267,20 +272,147 @@ func cmdQuery(args []string, out io.Writer) error {
 		if *modelPath == "" {
 			return errors.New("query: APPROX statements need -model")
 		}
-		f, err := os.Open(*modelPath)
+		model, err = loadModel(*modelPath, ds.Dim())
+		if err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+	}
+	return executeStatement(out, stmt, e, model)
+}
+
+// loadModel loads a trained model and validates it against the relation's
+// dimensionality up front, so APPROX statements cannot fail one by one with
+// per-query dimension errors later.
+func loadModel(path string, dim int) (*core.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := core.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	if m.K() == 0 {
+		return nil, errors.New("the loaded model has no prototypes")
+	}
+	if m.Config().Dim != dim {
+		return nil, fmt.Errorf("model dim %d does not match the relation's %d input attributes",
+			m.Config().Dim, dim)
+	}
+	return m, nil
+}
+
+// cmdBatch answers a whole file of analytics statements (one per line; blank
+// lines and #-comments are skipped). When every statement is an APPROX AVG,
+// the answers come from one Model.PredictBatch call — the model's bounded
+// worker pool — otherwise each statement runs on its own pool worker via the
+// same execution path as the query subcommand. Output order always matches
+// input order.
+func cmdBatch(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	data := fs.String("data", "", "dataset CSV backing the relation (required)")
+	modelPath := fs.String("model", "", "trained model JSON (required for APPROX statements)")
+	file := fs.String("file", "", "statement file, one per line (required; '-' reads stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" || *file == "" {
+		return errors.New("batch: -data and -file are required")
+	}
+	var src io.Reader = os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		model, err = core.Load(f)
+		src = f
+	}
+	var sqls []string
+	sc := bufio.NewScanner(src)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sqls = append(sqls, line)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(sqls) == 0 {
+		return errors.New("batch: no statements in input")
+	}
+	stmts := make([]*sqlfront.Statement, len(sqls))
+	needModel := false
+	allApproxMean := true
+	for i, sql := range sqls {
+		stmt, err := sqlfront.Parse(sql)
+		if err != nil {
+			return fmt.Errorf("batch: statement %d: %w", i+1, err)
+		}
+		stmts[i] = stmt
+		if stmt.Approx {
+			needModel = true
+		}
+		if !stmt.Approx || stmt.Kind != sqlfront.StmtMean {
+			allApproxMean = false
+		}
+	}
+	e, ds, err := loadExecutor(*data, 0)
+	if err != nil {
+		return err
+	}
+	var model *core.Model
+	if needModel {
+		if *modelPath == "" {
+			return errors.New("batch: APPROX statements need -model")
+		}
+		model, err = loadModel(*modelPath, ds.Dim())
+		if err != nil {
+			return fmt.Errorf("batch: %w", err)
+		}
+	}
+	for i, stmt := range stmts {
+		if len(stmt.Center) != ds.Dim() {
+			return fmt.Errorf("batch: statement %d centre has %d coordinates, relation has %d input attributes",
+				i+1, len(stmt.Center), ds.Dim())
+		}
+	}
+	start := time.Now()
+	if allApproxMean {
+		queries := make([]core.Query, len(stmts))
+		for i, stmt := range stmts {
+			q, err := core.NewQuery(stmt.Center, stmt.Theta)
+			if err != nil {
+				return err
+			}
+			queries[i] = q
+		}
+		answers, err := model.PredictBatch(queries)
 		if err != nil {
 			return err
 		}
-		if model.K() == 0 {
-			return errors.New("query: the loaded model has no prototypes")
+		for i, y := range answers {
+			fmt.Fprintf(out, "[%d] approx AVG(%s) = %.6g\n", i+1, stmts[i].Output, y)
+		}
+	} else {
+		bufs := make([]bytes.Buffer, len(stmts))
+		errs := make([]error, len(stmts))
+		exec.ForEachParallel(len(stmts), func(i int) {
+			errs[i] = executeStatement(&bufs[i], stmts[i], e, model)
+		})
+		for i := range stmts {
+			if errs[i] != nil {
+				fmt.Fprintf(out, "[%d] error: %v\n", i+1, errs[i])
+				continue
+			}
+			fmt.Fprintf(out, "[%d] %s", i+1, bufs[i].String())
 		}
 	}
-	return executeStatement(out, stmt, e, model)
+	fmt.Fprintf(out, "answered %d statements in %v\n", len(stmts), time.Since(start).Round(time.Microsecond))
+	return nil
 }
 
 func executeStatement(out io.Writer, stmt *sqlfront.Statement, e *exec.Executor, model *core.Model) error {

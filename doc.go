@@ -13,6 +13,21 @@
 // internal/experiments. The runnable entry points are cmd/llmq,
 // cmd/llmq-experiments and the programs under examples/.
 //
+// # Serving performance
+//
+// The model's read path is built for heavy concurrent traffic: all
+// prototypes live in one contiguous struct-of-arrays matrix scanned by
+// allocation-free unrolled kernels (internal/vector), the winner search of
+// Eq. (5) is accelerated by an incremental uniform grid in low-dimensional
+// query spaces and by a sorted projection spine in wide ones (both exact),
+// and the model is safe for concurrent use — prediction methods share a
+// read lock while Observe/Train write under exclusion. PredictBatch and
+// TrainBatch, the executor's MeanBatch/RegressionBatch, the HTTP
+// /query/batch endpoint and the llmq batch subcommand fan work out over
+// bounded worker pools. PERFORMANCE.md documents the layout, the exactness
+// arguments and the measured speedups; scripts/bench.sh records the
+// trajectory in BENCH_<n>.json.
+//
 // The benchmarks in bench_test.go regenerate every figure of the paper's
 // evaluation at a reduced scale; run them with
 //

@@ -1,0 +1,3 @@
+module llmq
+
+go 1.24

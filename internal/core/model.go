@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"llmq/internal/vector"
 )
@@ -124,13 +127,22 @@ func (c Config) validate() (Config, error) {
 }
 
 // Model is the trained (or in-training) query-driven LLM model.
+//
+// A Model is safe for concurrent use: the prediction methods (PredictMean,
+// Regression, PredictValue, Winner, Neighborhood, PredictBatch, Save and the
+// accessors) take a shared read lock, while Observe/Train/TrainBatch take
+// the exclusive write lock. Readers never block each other, so a trained
+// model serves queries from any number of goroutines while a trainer keeps
+// absorbing the stream.
 type Model struct {
+	mu         sync.RWMutex
 	cfg        Config
 	llms       []*LLM
-	steps      int     // training pairs consumed
-	converged  bool    // termination criterion reached
-	lastGamma  float64 // most recent Γ value
-	quietSteps int     // consecutive steps with Γ ≤ γ
+	store      *protoStore // contiguous [x_k, θ_k] mirror + spatial index
+	steps      int         // training pairs consumed
+	converged  bool        // termination criterion reached
+	lastGamma  float64     // most recent Γ value
+	quietSteps int         // consecutive steps with Γ ≤ γ
 }
 
 // TrainingPair is one observed (query, answer) pair from the stream T.
@@ -166,26 +178,44 @@ func NewModel(cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{cfg: c}, nil
+	return &Model{cfg: c, store: newProtoStore(c.Dim, c.Vigilance)}, nil
 }
 
 // Config returns the normalized configuration (with the derived vigilance).
 func (m *Model) Config() Config { return m.cfg }
 
 // K returns the current number of prototypes/LLMs.
-func (m *Model) K() int { return len(m.llms) }
+func (m *Model) K() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.llms)
+}
 
 // Steps returns how many training pairs the model has consumed.
-func (m *Model) Steps() int { return m.steps }
+func (m *Model) Steps() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.steps
+}
 
 // Converged reports whether the termination criterion has fired.
-func (m *Model) Converged() bool { return m.converged }
+func (m *Model) Converged() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.converged
+}
 
 // LastGamma returns the most recent value of the termination criterion Γ.
-func (m *Model) LastGamma() float64 { return m.lastGamma }
+func (m *Model) LastGamma() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.lastGamma
+}
 
 // LLMs returns deep copies of the trained local linear mappings.
 func (m *Model) LLMs() []*LLM {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]*LLM, len(m.llms))
 	for i, l := range m.llms {
 		out[i] = l.clone()
@@ -203,11 +233,19 @@ func (m *Model) Observe(q Query, answer float64) (StepInfo, error) {
 	if math.IsNaN(answer) || math.IsInf(answer, 0) {
 		return StepInfo{}, fmt.Errorf("core: non-finite training answer %v", answer)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observeLocked(q, answer), nil
+}
+
+// observeLocked applies one training step. The caller holds the write lock
+// and has validated the pair.
+func (m *Model) observeLocked(q Query, answer float64) StepInfo {
 	if m.converged {
 		return StepInfo{
 			Step: m.steps, Gamma: m.lastGamma, GammaJ: 0, GammaH: 0,
 			K: len(m.llms), Converged: true,
-		}, nil
+		}
 	}
 	m.steps++
 	info := StepInfo{Step: m.steps, K: len(m.llms)}
@@ -215,6 +253,7 @@ func (m *Model) Observe(q Query, answer float64) (StepInfo, error) {
 	// Cold start: the first pair becomes prototype w_1.
 	if len(m.llms) == 0 {
 		m.llms = append(m.llms, newLLM(q, m.initIntercept(answer)))
+		m.store.add(q.Center, q.Theta)
 		info.Created = true
 		info.Winner = 0
 		info.K = 1
@@ -223,11 +262,11 @@ func (m *Model) Observe(q Query, answer float64) (StepInfo, error) {
 		info.GammaH = math.Inf(1)
 		m.lastGamma = info.Gamma
 		m.quietSteps = 0
-		return info, nil
+		return info
 	}
 
 	// Find the winning prototype under the query-space L2 distance.
-	winner, dist := m.winner(q)
+	winner, dist := m.store.winnerQuery(q)
 	rateStep := m.steps
 	if m.cfg.RateByPrototype {
 		rateStep = m.llms[winner].Wins
@@ -237,6 +276,7 @@ func (m *Model) Observe(q Query, answer float64) (StepInfo, error) {
 	if dist > m.cfg.Vigilance {
 		// Spawn a new prototype at the query (Algorithm 1, else branch).
 		m.llms = append(m.llms, newLLM(q, m.initIntercept(answer)))
+		m.store.add(q.Center, q.Theta)
 		info.Created = true
 		info.Winner = len(m.llms) - 1
 		info.K = len(m.llms)
@@ -247,7 +287,7 @@ func (m *Model) Observe(q Query, answer float64) (StepInfo, error) {
 		info.GammaH = math.Inf(1)
 		m.lastGamma = info.Gamma
 		m.quietSteps = 0
-		return info, nil
+		return info
 	}
 
 	// Joint SGD update of the winner (Theorem 4). All three update rules use
@@ -268,6 +308,9 @@ func (m *Model) Observe(q Query, answer float64) (StepInfo, error) {
 	l.ThetaPrototype += dTheta
 	gammaJ += dTheta * dTheta
 	gammaJ = math.Sqrt(gammaJ)
+	// The prototype drifted: sync its row in the flat store (and its grid
+	// cell, when the move crossed a cell boundary).
+	m.store.update(winner, l.CenterPrototype, l.ThetaPrototype)
 
 	switch m.cfg.CoefficientSolver {
 	case SolverSGD:
@@ -310,7 +353,7 @@ func (m *Model) Observe(q Query, answer float64) (StepInfo, error) {
 		m.converged = true
 		info.Converged = true
 	}
-	return info, nil
+	return info
 }
 
 func (m *Model) initIntercept(answer float64) float64 {
@@ -320,18 +363,20 @@ func (m *Model) initIntercept(answer float64) float64 {
 	return 0
 }
 
-// winner returns the index of the prototype closest to q in the query space
-// and the distance to it. The model must be non-empty.
-func (m *Model) winner(q Query) (int, float64) {
-	best, bestDist := 0, math.Inf(1)
-	for k, l := range m.llms {
-		d := math.Sqrt(vector.SqDistance(q.Center, l.CenterPrototype) +
-			(q.Theta-l.ThetaPrototype)*(q.Theta-l.ThetaPrototype))
-		if d < bestDist {
-			best, bestDist = k, d
-		}
+// Winner returns the index of the prototype closest to q in the query space
+// (the winner of Eq. 5, i.e. the LLM whose Voronoi cell q falls in) and the
+// query-space distance to it.
+func (m *Model) Winner(q Query) (int, float64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(m.llms) == 0 {
+		return 0, 0, ErrNotTrained
 	}
-	return best, bestDist
+	if q.Dim() != m.cfg.Dim {
+		return 0, 0, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), m.cfg.Dim)
+	}
+	k, dist := m.store.winnerQuery(q)
+	return k, dist, nil
 }
 
 // TrainingResult summarizes a Train run.
@@ -350,7 +395,9 @@ type TrainingResult struct {
 }
 
 // Train consumes pairs in order until the termination criterion fires or the
-// stream is exhausted (Algorithm 1).
+// stream is exhausted (Algorithm 1). The write lock is taken per step, so
+// concurrent readers interleave with a live training stream; use TrainBatch
+// for bulk ingestion that should not yield between steps.
 func (m *Model) Train(pairs []TrainingPair) (TrainingResult, error) {
 	res := TrainingResult{GammaTrace: make([]float64, 0, len(pairs))}
 	for _, p := range pairs {
@@ -363,6 +410,8 @@ func (m *Model) Train(pairs []TrainingPair) (TrainingResult, error) {
 			break
 		}
 	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	res.Steps = m.steps
 	res.K = len(m.llms)
 	res.Converged = m.converged
@@ -370,13 +419,121 @@ func (m *Model) Train(pairs []TrainingPair) (TrainingResult, error) {
 	return res, nil
 }
 
+// TrainBatch consumes pairs like Train but under a single write-lock
+// acquisition. The paper's joint AVQ/SGD update is inherently sequential —
+// step t+1's winner depends on step t's drift — so batching does not change
+// the math; it amortizes synchronization for bulk ingestion (initial
+// training, model rebuilds) where blocking readers for the duration is
+// acceptable. Pairs are validated before any step is applied.
+func (m *Model) TrainBatch(pairs []TrainingPair) (TrainingResult, error) {
+	res := TrainingResult{GammaTrace: make([]float64, 0, len(pairs))}
+	for _, p := range pairs {
+		if p.Query.Dim() != m.cfg.Dim {
+			return res, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, p.Query.Dim(), m.cfg.Dim)
+		}
+		if math.IsNaN(p.Answer) || math.IsInf(p.Answer, 0) {
+			return res, fmt.Errorf("core: non-finite training answer %v", p.Answer)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range pairs {
+		info := m.observeLocked(p.Query, p.Answer)
+		res.GammaTrace = append(res.GammaTrace, info.Gamma)
+		if info.Converged {
+			break
+		}
+	}
+	res.Steps = m.steps
+	res.K = len(m.llms)
+	res.Converged = m.converged
+	res.FinalGamma = m.lastGamma
+	return res, nil
+}
+
+// PredictBatch answers many Q1 mean-value queries with a bounded worker
+// pool: queries are validated up front, then min(GOMAXPROCS, len(queries))
+// workers drain them over the shared read lock. Results are positional. The
+// per-query cost is independent of the data size (the paper's central
+// property), so batching exists purely to saturate cores under heavy query
+// traffic, not to amortize data access.
+func (m *Model) PredictBatch(queries []Query) ([]float64, error) {
+	m.mu.RLock()
+	if len(m.llms) == 0 {
+		m.mu.RUnlock()
+		return nil, ErrNotTrained
+	}
+	for _, q := range queries {
+		if q.Dim() != m.cfg.Dim {
+			m.mu.RUnlock()
+			return nil, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), m.cfg.Dim)
+		}
+	}
+	m.mu.RUnlock()
+
+	out := make([]float64, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			y, err := m.PredictMean(q)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = y
+		}
+		return out, nil
+	}
+	var (
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				y, err := m.PredictMean(queries[i])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				out[i] = y
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
 // overlapSet returns the indices of prototypes whose data subspaces overlap
 // the query (the neighbourhood W(q) of Eq. 10) together with the
-// corresponding normalized weights δ̃.
+// corresponding normalized weights δ̃. It scans the flat prototype store —
+// no per-prototype Query construction or cloning — and shares the overlap
+// formula with Query.OverlapDegree. The caller holds (at least) the read
+// lock.
 func (m *Model) overlapSet(q Query) (idx []int, weights []float64) {
+	d := m.cfg.Dim
 	var total float64
-	for k, l := range m.llms {
-		deg := q.OverlapDegree(l.PrototypeQuery())
+	for k, n := 0, m.store.k(); k < n; k++ {
+		row := m.store.row(k)
+		dist := math.Sqrt(vector.SqDistanceFlat(q.Center, row[:d]))
+		deg := overlapDegree(dist, q.Theta, row[d])
 		if deg > 0 {
 			idx = append(idx, k)
 			weights = append(weights, deg)
@@ -395,6 +552,8 @@ func (m *Model) overlapSet(q Query) (idx []int, weights []float64) {
 // average of the output attribute over D(x, θ), computed purely from the
 // trained LLMs without data access.
 func (m *Model) PredictMean(q Query) (float64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if len(m.llms) == 0 {
 		return 0, ErrNotTrained
 	}
@@ -404,7 +563,7 @@ func (m *Model) PredictMean(q Query) (float64, error) {
 	idx, weights := m.overlapSet(q)
 	if len(idx) == 0 {
 		// Extrapolate from the closest prototype.
-		w, _ := m.winner(q)
+		w, _ := m.store.winnerQuery(q)
 		return m.llms[w].Eval(q.Center, q.Theta), nil
 	}
 	var yhat float64
@@ -420,6 +579,8 @@ func (m *Model) PredictMean(q Query) (float64, error) {
 // when no prototype overlaps, the closest prototype's model is returned by
 // extrapolation (Case 3).
 func (m *Model) Regression(q Query) ([]LocalLinear, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if len(m.llms) == 0 {
 		return nil, ErrNotTrained
 	}
@@ -428,7 +589,7 @@ func (m *Model) Regression(q Query) ([]LocalLinear, error) {
 	}
 	idx, weights := m.overlapSet(q)
 	if len(idx) == 0 {
-		w, _ := m.winner(q)
+		w, _ := m.store.winnerQuery(q)
 		model := m.llms[w].DataModel()
 		model.Weight = 0
 		return []LocalLinear{model}, nil
@@ -446,6 +607,8 @@ func (m *Model) Regression(q Query) ([]LocalLinear, error) {
 // subspace addressed by the query q = [x0, θ] (Eq. 14): the overlap-weighted
 // fusion of the neighbouring LLMs evaluated at their own prototype radii.
 func (m *Model) PredictValue(q Query, x []float64) (float64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if len(m.llms) == 0 {
 		return 0, ErrNotTrained
 	}
@@ -455,7 +618,7 @@ func (m *Model) PredictValue(q Query, x []float64) (float64, error) {
 	xv := vector.Vec(x)
 	idx, weights := m.overlapSet(q)
 	if len(idx) == 0 {
-		w, _ := m.winner(q)
+		w, _ := m.store.winnerQuery(q)
 		return m.llms[w].EvalAtPrototypeRadius(xv), nil
 	}
 	var uhat float64
@@ -478,6 +641,8 @@ func (m *Model) PredictValueAt(x []float64, theta float64) (float64, error) {
 // Neighborhood exposes the overlap set W(q) for diagnostics: the prototype
 // queries that overlap q and their normalized weights.
 func (m *Model) Neighborhood(q Query) ([]Query, []float64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if len(m.llms) == 0 {
 		return nil, nil, ErrNotTrained
 	}

@@ -72,20 +72,27 @@ func (q Query) Overlaps(o Query) bool {
 // of Eq. (9): 1 − max(||x − x'||₂, |θ − θ'|)/(θ + θ') when the subspaces
 // overlap, and 0 otherwise. Two identical queries have degree 1.
 func (q Query) OverlapDegree(o Query) float64 {
-	sum := q.Theta + o.Theta
+	return overlapDegree(vector.Distance(q.Center, o.Center), q.Theta, o.Theta)
+}
+
+// overlapDegree is the shared Eq. (9) kernel: the overlap degree of two data
+// subspaces with centre distance dist and radii t1, t2. Both the Query API
+// and the model's flat-store neighbourhood scan use it, so the two paths
+// cannot diverge numerically.
+func overlapDegree(dist, t1, t2 float64) float64 {
+	sum := t1 + t2
 	if sum <= 0 {
-		// Two degenerate (zero-radius) queries overlap fully only when they
-		// coincide.
-		if vector.Distance(q.Center, o.Center) == 0 {
+		// Two degenerate (zero-radius) subspaces overlap fully only when
+		// they coincide.
+		if dist == 0 {
 			return 1
 		}
 		return 0
 	}
-	dist := vector.Distance(q.Center, o.Center)
 	if dist > sum {
 		return 0
 	}
-	num := math.Max(dist, math.Abs(q.Theta-o.Theta))
+	num := math.Max(dist, math.Abs(t1-t2))
 	deg := 1 - num/sum
 	if deg < 0 {
 		return 0

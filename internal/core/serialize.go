@@ -37,8 +37,11 @@ const serializationVersion = 1
 // fails validation.
 var ErrBadModelFile = errors.New("core: invalid model file")
 
-// Save writes the model as JSON.
+// Save writes the model as JSON. It takes the shared read lock, so a model
+// can be checkpointed while serving queries.
 func (m *Model) Save(w io.Writer) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	doc := modelJSON{
 		Version:   serializationVersion,
 		Dim:       m.cfg.Dim,
@@ -102,14 +105,16 @@ func Load(r io.Reader) (*Model, error) {
 				return nil, fmt.Errorf("%w: LLM %d contains non-finite values", ErrBadModelFile, i)
 			}
 		}
-		m.llms = append(m.llms, &LLM{
+		l := &LLM{
 			CenterPrototype: append([]float64(nil), lj.Center...),
 			ThetaPrototype:  lj.Theta,
 			Intercept:       lj.Intercept,
 			SlopeX:          append([]float64(nil), lj.SlopeX...),
 			SlopeTheta:      lj.SlopeTheta,
 			Wins:            lj.Wins,
-		})
+		}
+		m.llms = append(m.llms, l)
+		m.store.add(l.CenterPrototype, l.ThetaPrototype)
 	}
 	return m, nil
 }

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"llmq/internal/index"
+	"llmq/internal/vector"
+)
+
+// protoStore is the cache-friendly read path of the model: every prototype
+// w_k = [x_k, θ_k] is packed into one contiguous row-major matrix of K rows ×
+// (d+1) columns, so the winner search of Eq. (5) scans flat memory with the
+// unrolled squared-distance kernel instead of chasing K heap pointers and
+// taking K square roots. For low-dimensional query spaces the store also
+// maintains an incremental uniform grid over the prototypes (cell size = the
+// vigilance ρ, the minimum spawn distance), which drops the winner search
+// below O(K) once the prototype set is large.
+//
+// The store mirrors the authoritative per-LLM parameters: Observe updates
+// the LLM (training math needs its solver state) and then syncs the moved
+// prototype row here. All methods assume the caller holds the model lock.
+type protoStore struct {
+	width int       // d+1: [x..., θ]
+	flat  []float64 // K rows × width, row-major
+	grid  *index.DynamicGrid
+
+	// The projection spine accelerates the flat path in query spaces too
+	// wide for the grid: prototypes are kept sorted by their projection onto
+	// the diagonal (the component sum), with the rows themselves copied into
+	// spineFlat in that order so a winner search scans one contiguous window
+	// around the query's projection. By Cauchy–Schwarz the projections of
+	// two points differ by at most √w times their L2 distance, so once the
+	// projection gap to the running best exceeds √w·bestDist the remaining
+	// rows on that side cannot win and the scan stops — typically after a
+	// fraction of K.
+	//
+	// Between rebuilds the spine is stale: prototypes drift and new ones are
+	// appended. Staleness never breaks exactness. Appended rows live in the
+	// contiguous tail of flat and are scanned separately, and every pruning
+	// bound is widened by the worst per-prototype displacement since the
+	// last build (maxDrift): a row's live distance is at least its stale
+	// distance minus its drift, so a row pruned under the widened bound
+	// cannot have won, and surviving candidates are verified against the
+	// live rows. Rebuilds happen on the write path once the tail or the
+	// drift grows past its threshold, amortizing to O(log K) per step.
+	spineProj   []float64 // sorted stale projections, built rows only
+	spineIDs    []int     // prototype ids, parallel to spineProj
+	spineFlat   []float64 // stale row copies in spineProj order
+	spineBuiltK int       // prototype count at the last rebuild
+	drift       []float64 // per-built-row displacement since the last rebuild
+	maxDrift    float64   // max over drift
+	vigilance   float64   // rebuild threshold scale (the prototype spacing)
+}
+
+const (
+	// storeGridMaxWidth bounds the query-space dimensionality (d+1) for
+	// which the ring-expanding grid search is profitable; above it the ring
+	// enumeration outgrows the flat scan and the store falls back to the
+	// unrolled linear kernel.
+	storeGridMaxWidth = 4
+	// storeGridMinK is the prototype count below which the flat scan beats
+	// the grid's hashing overhead.
+	storeGridMinK = 64
+	// storeSpineMinK is the prototype count below which the plain flat scan
+	// beats the spine's binary search and window bookkeeping.
+	storeSpineMinK = 128
+)
+
+func newProtoStore(dim int, vigilance float64) *protoStore {
+	s := &protoStore{width: dim + 1, vigilance: vigilance}
+	if s.width <= storeGridMaxWidth {
+		// Cell side = 2ρ: prototypes are at least ρ apart, so a cell holds
+		// only a handful of them and the winner is almost always found in
+		// ring 0 or 1 — few bucket lookups, each verifying a few candidates
+		// with the flat kernel. The constructor only rejects non-positive /
+		// non-finite cell sizes, which Config validation has already
+		// excluded.
+		if g, err := index.NewDynamicGrid(s.width, 2*vigilance); err == nil {
+			s.grid = g
+		}
+	}
+	return s
+}
+
+// k returns the number of stored prototypes.
+func (s *protoStore) k() int { return len(s.flat) / s.width }
+
+// row returns the k-th prototype row [x_k..., θ_k].
+func (s *protoStore) row(k int) []float64 {
+	return s.flat[k*s.width : (k+1)*s.width]
+}
+
+// add appends a prototype row and mirrors it into the grid. The new row
+// joins the spine's tail until the next rebuild.
+func (s *protoStore) add(center vector.Vec, theta float64) {
+	s.flat = append(s.flat, center...)
+	s.flat = append(s.flat, theta)
+	if s.grid != nil {
+		// Insert cannot fail: the row width matches the grid dimension by
+		// construction.
+		_, _ = s.grid.Insert(s.row(s.k() - 1))
+	} else {
+		s.maybeRebuildSpine()
+	}
+}
+
+// update syncs the k-th row after a prototype drift step, accounting the
+// displacement against the spine's staleness budget.
+func (s *protoStore) update(k int, center vector.Vec, theta float64) {
+	row := s.row(k)
+	if s.grid == nil && k < s.spineBuiltK {
+		move := math.Sqrt(vector.SqDistanceFlat(row[:s.width-1], center) +
+			(row[s.width-1]-theta)*(row[s.width-1]-theta))
+		s.drift[k] += move
+		if s.drift[k] > s.maxDrift {
+			s.maxDrift = s.drift[k]
+		}
+	}
+	copy(row, center)
+	row[s.width-1] = theta
+	if s.grid != nil {
+		_ = s.grid.Update(k, row)
+	} else {
+		s.maybeRebuildSpine()
+	}
+}
+
+// maybeRebuildSpine rebuilds once the un-indexed tail reaches an eighth of
+// the prototype set or the accumulated drift becomes comparable to the
+// prototype spacing. Called on the write path only, so readers always see a
+// consistent (if slightly stale) spine.
+func (s *protoStore) maybeRebuildSpine() {
+	k := s.k()
+	if k < storeSpineMinK {
+		return
+	}
+	if (k-s.spineBuiltK)*8 >= k || s.maxDrift > s.vigilance/4 {
+		s.rebuildSpine()
+	}
+}
+
+// projection is the spine coordinate: the component sum, i.e. the (scaled)
+// projection onto the unit diagonal. By Cauchy–Schwarz,
+// |sum(a) − sum(b)| ≤ √w·‖a−b‖₂, so points close in the query space are
+// necessarily close in projection.
+func projection(row []float64) float64 {
+	var s float64
+	for _, v := range row {
+		s += v
+	}
+	return s
+}
+
+// rebuildSpine re-sorts all prototypes by their current projection and
+// snapshots their rows in that order.
+func (s *protoStore) rebuildSpine() {
+	k := s.k()
+	w := s.width
+	if cap(s.spineProj) < k {
+		s.spineProj = make([]float64, 0, 2*k)
+		s.spineIDs = make([]int, 0, 2*k)
+		s.spineFlat = make([]float64, 0, 2*k*w)
+		s.drift = make([]float64, 0, 2*k)
+	}
+	s.spineProj = s.spineProj[:k]
+	s.spineIDs = s.spineIDs[:k]
+	s.spineFlat = s.spineFlat[:k*w]
+	s.drift = s.drift[:k]
+	proj := make([]float64, k)
+	for i := 0; i < k; i++ {
+		s.spineIDs[i] = i
+		proj[i] = projection(s.row(i))
+		s.drift[i] = 0
+	}
+	sort.Slice(s.spineIDs, func(a, b int) bool { return proj[s.spineIDs[a]] < proj[s.spineIDs[b]] })
+	for i, id := range s.spineIDs {
+		s.spineProj[i] = proj[id]
+		copy(s.spineFlat[i*w:(i+1)*w], s.row(id))
+	}
+	s.spineBuiltK = k
+	s.maxDrift = 0
+}
+
+// storeSpineProbe is how many spine rows around the query's projection are
+// verified up front to seed the window cutoff.
+const storeSpineProbe = 16
+
+// winnerSpine finds the exact winner through the projection spine in three
+// steps. (1) Seed: the rows appended since the last rebuild (the contiguous
+// tail of flat) are scanned exactly, and the storeSpineProbe spine rows
+// whose projections bracket the query's are verified — projection proximity
+// correlates with spatial proximity, so the seed distance is near-optimal.
+// (2) Window: any row that could still beat the seed must have live
+// distance ≤ seedDist, hence stale distance ≤ C := seedDist + maxDrift, and
+// by Cauchy–Schwarz a stale projection within √w·C of the query's — one
+// sorted-array search on each side bounds the candidate range. (3) Verify:
+// the window's stale rows are scanned contiguously with the C² cutoff
+// kernel, and the few survivors are checked against their live rows. Every
+// bound carries the maxDrift slack, so prototype drift between rebuilds can
+// widen the window but never hide the true winner.
+func (s *protoStore) winnerSpine(qflat []float64) (int, float64) {
+	w := s.width
+	built := s.spineBuiltK
+	slack := s.maxDrift
+	best, bestSq := -1, math.Inf(1)
+	if tail := s.flat[built*w:]; len(tail) > 0 {
+		ti, tsq := vector.ArgminSqDistance(tail, w, qflat)
+		if ti >= 0 {
+			best, bestSq = built+ti, tsq
+		}
+	}
+	qproj := projection(qflat)
+	pos := sort.SearchFloat64s(s.spineProj[:built], qproj)
+	plo, phi := pos-storeSpineProbe, pos+storeSpineProbe
+	if plo < 0 {
+		plo = 0
+	}
+	if phi > built {
+		phi = built
+	}
+	// Probe the stale snapshots (contiguous memory — no gather through the
+	// id table) and promote the best probe to a live seed: when nothing has
+	// drifted the snapshot is the live row, otherwise one gather verifies
+	// it.
+	staleSeedSq, probeBest := math.Inf(1), -1
+	for i := plo; i < phi; i++ {
+		if sq := vector.SqDistanceFlat(s.spineFlat[i*w:(i+1)*w], qflat); sq < staleSeedSq {
+			staleSeedSq, probeBest = sq, i
+		}
+	}
+	if probeBest >= 0 {
+		id := s.spineIDs[probeBest]
+		if slack == 0 {
+			if staleSeedSq < bestSq {
+				best, bestSq = id, staleSeedSq
+			}
+		} else if sq := vector.SqDistanceFlat(s.row(id), qflat); sq < bestSq {
+			best, bestSq = id, sq
+		}
+	}
+	// The winner's stale distance overstates its live one by at most slack,
+	// and its live distance is bounded by the (live) seed's.
+	cutoff := math.Sqrt(bestSq) + slack
+	cutoffSq := cutoff * cutoff
+	radius := math.Sqrt(float64(w)) * cutoff
+	lo := sort.SearchFloat64s(s.spineProj[:built], qproj-radius)
+	hi := sort.SearchFloat64s(s.spineProj[:built], qproj+radius)
+	if hi-lo >= built/2 {
+		// The window prunes too little to beat a straight scan — the
+		// workload has no projection locality here (e.g. near-uniform
+		// prototypes in a wide query space, where 1-D projections
+		// concentrate). The probes still pay for themselves: they seed the
+		// flat scan's partial-distance cutoff.
+		if best >= 0 {
+			return vector.ArgminSqDistanceSeeded(s.flat, w, qflat, best, bestSq)
+		}
+		return vector.ArgminSqDistance(s.flat, w, qflat)
+	}
+	for i := lo; i < hi; i++ {
+		staleSq, within := vector.SqDistanceWithin(s.spineFlat[i*w:(i+1)*w], qflat, cutoffSq)
+		if !within {
+			continue
+		}
+		id := s.spineIDs[i]
+		if slack == 0 {
+			// No prototype has moved since the rebuild: the stale row is
+			// the live row.
+			if staleSq < bestSq {
+				best, bestSq = id, staleSq
+			}
+			continue
+		}
+		if sq := vector.SqDistanceFlat(s.row(id), qflat); sq < bestSq {
+			best, bestSq = id, sq
+		}
+	}
+	return best, bestSq
+}
+
+// winner returns the index of the prototype closest to the query-space point
+// qflat = [x..., θ] and the squared L2 distance to it, using the grid when
+// the prototype set is large enough for it to pay off. All paths verify
+// candidates with the same unrolled kernel and return a true minimum: the
+// grid and flat scans break ties toward the lowest index, while the spine
+// keeps its seed on exact ties, so under ties the paths can return different
+// (equidistant) winners — the distance, and hence the vigilance test, is
+// identical either way.
+func (s *protoStore) winner(qflat []float64) (int, float64) {
+	if s.grid != nil && s.k() >= storeGridMinK {
+		return s.grid.Nearest(qflat)
+	}
+	if s.spineBuiltK > 0 {
+		return s.winnerSpine(qflat)
+	}
+	return vector.ArgminSqDistance(s.flat, s.width, qflat)
+}
+
+// winnerQuery is the Query-typed entry point: it assembles the query-space
+// point on the stack and returns the winner index plus the true (root)
+// distance used by the vigilance test.
+func (s *protoStore) winnerQuery(q Query) (int, float64) {
+	qflat := make([]float64, s.width)
+	copy(qflat, q.Center)
+	qflat[s.width-1] = q.Theta
+	k, sq := s.winner(qflat)
+	return k, math.Sqrt(sq)
+}

@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Batched exact execution. The Executor never mutates the table or the
+// spatial index, so independent queries can be evaluated concurrently as
+// long as no other goroutine inserts into the table; the batch entry points
+// below drain a query list with a bounded worker pool. Results and errors
+// are positional: errs[i] is non-nil (typically ErrEmptySubspace) exactly
+// when the i-th query produced no result.
+
+// ForEachParallel runs fn(0..n-1) over min(GOMAXPROCS, n) workers. Work is
+// handed out by an atomic cursor, so long-running queries do not stall the
+// rest of the batch. It is exported because the serve and cmd layers drain
+// their per-statement batches with the same pool shape.
+func ForEachParallel(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MeanBatch executes many exact Q1 queries concurrently.
+func (e *Executor) MeanBatch(qs []RadiusQuery) ([]MeanResult, []error) {
+	results := make([]MeanResult, len(qs))
+	errs := make([]error, len(qs))
+	ForEachParallel(len(qs), func(i int) {
+		results[i], errs[i] = e.Mean(qs[i])
+	})
+	return results, errs
+}
+
+// RegressionBatch executes many exact Q2 queries concurrently.
+func (e *Executor) RegressionBatch(qs []RadiusQuery) ([]RegressionResult, []error) {
+	results := make([]RegressionResult, len(qs))
+	errs := make([]error, len(qs))
+	ForEachParallel(len(qs), func(i int) {
+		results[i], errs[i] = e.Regression(qs[i])
+	})
+	return results, errs
+}

@@ -1,0 +1,276 @@
+package index
+
+import (
+	"fmt"
+	"math"
+
+	"llmq/internal/vector"
+)
+
+// DynamicGrid is an incrementally maintained uniform grid supporting exact
+// nearest-neighbour queries under the L2 norm. Unlike Grid it is built empty
+// and grown point by point, and existing points may be moved in place — the
+// two operations the query-driven model needs to index its prototype set,
+// which both grows (a training pair outside every vigilance ball spawns a new
+// prototype) and drifts (the winner of every pair moves toward it).
+//
+// Points are stored in one contiguous row-major matrix, so the per-cell
+// candidate verification runs over flat memory with the unrolled squared-
+// distance kernel. Cells are bucketed by a 64-bit hash of their integer
+// coordinates rather than an exact key: a collision merely merges two
+// buckets, and since every candidate is verified by its true distance the
+// search stays exact — the hash only ever adds candidates, never hides one.
+//
+// Nearest expands cell rings around the query cell and terminates as soon as
+// the ring's distance lower bound exceeds the best candidate, which makes
+// the search cost independent of the total point count whenever the cell
+// size is of the order of the point spacing (the prototype store uses a
+// small multiple of the vigilance ρ, which is exactly the minimum spawn
+// distance).
+type DynamicGrid struct {
+	dim      int
+	cellSize float64
+	flat     []float64        // n rows × dim, row-major
+	keys     []uint64         // current cell hash of each point
+	cells    map[uint64][]int // cell hash → point ids
+	lo, hi   []int            // bounding box of occupied cell coords
+}
+
+// NewDynamicGrid creates an empty dynamic grid for points of the given
+// dimensionality with the given cell side length.
+func NewDynamicGrid(dim int, cellSize float64) (*DynamicGrid, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("%w: dimension %d", ErrDimension, dim)
+	}
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		return nil, fmt.Errorf("index: invalid cell size %v", cellSize)
+	}
+	return &DynamicGrid{
+		dim:      dim,
+		cellSize: cellSize,
+		cells:    make(map[uint64][]int),
+	}, nil
+}
+
+// Len returns the number of indexed points.
+func (g *DynamicGrid) Len() int { return len(g.keys) }
+
+// Dim returns the dimensionality of the indexed points.
+func (g *DynamicGrid) Dim() int { return g.dim }
+
+func (g *DynamicGrid) coordOf(p []float64, out []int) {
+	for j, v := range p {
+		out[j] = int(math.Floor(v / g.cellSize))
+	}
+}
+
+// coordHash mixes the integer cell coordinates into a 64-bit bucket key
+// (multiply-xorshift per coordinate). Distinct cells may collide; see the
+// type comment for why that is harmless.
+func coordHash(coord []int) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, c := range coord {
+		h = (h ^ uint64(c)) * 0xBF58476D1CE4E5B9
+		h ^= h >> 29
+	}
+	return h
+}
+
+func (g *DynamicGrid) growBounds(coord []int) {
+	if g.lo == nil {
+		g.lo = append([]int(nil), coord...)
+		g.hi = append([]int(nil), coord...)
+		return
+	}
+	for j, c := range coord {
+		if c < g.lo[j] {
+			g.lo[j] = c
+		}
+		if c > g.hi[j] {
+			g.hi[j] = c
+		}
+	}
+}
+
+// Insert adds a point and returns its id (ids are dense, in insertion order).
+func (g *DynamicGrid) Insert(p []float64) (int, error) {
+	if len(p) != g.dim {
+		return 0, fmt.Errorf("%w: point dim %d, index dim %d", ErrDimension, len(p), g.dim)
+	}
+	id := len(g.keys)
+	g.flat = append(g.flat, p...)
+	var buf [8]int
+	coord := gridCoordBuf(&buf, g.dim)
+	g.coordOf(p, coord)
+	key := coordHash(coord)
+	g.keys = append(g.keys, key)
+	g.cells[key] = append(g.cells[key], id)
+	g.growBounds(coord)
+	return id, nil
+}
+
+// Update moves the point with the given id to p, rebucketing it when the
+// move crosses a cell boundary. It is the prototype-drift operation: the AVQ
+// update moves the winning prototype a small step toward each absorbed
+// query, which only rarely changes its cell.
+func (g *DynamicGrid) Update(id int, p []float64) error {
+	if id < 0 || id >= len(g.keys) {
+		return fmt.Errorf("index: update of unknown id %d (have %d points)", id, len(g.keys))
+	}
+	if len(p) != g.dim {
+		return fmt.Errorf("%w: point dim %d, index dim %d", ErrDimension, len(p), g.dim)
+	}
+	copy(g.flat[id*g.dim:(id+1)*g.dim], p)
+	var buf [8]int
+	coord := gridCoordBuf(&buf, g.dim)
+	g.coordOf(p, coord)
+	key := coordHash(coord)
+	old := g.keys[id]
+	if key == old {
+		return nil
+	}
+	bucket := g.cells[old]
+	for i, other := range bucket {
+		if other == id {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(g.cells, old)
+	} else {
+		g.cells[old] = bucket
+	}
+	g.keys[id] = key
+	g.cells[key] = append(g.cells[key], id)
+	g.growBounds(coord)
+	return nil
+}
+
+// At returns the (live) coordinates of the point with the given id.
+func (g *DynamicGrid) At(id int) []float64 {
+	return g.flat[id*g.dim : (id+1)*g.dim]
+}
+
+// gridCoordBuf returns a dim-length scratch coordinate slice, backed by the
+// caller's stack array when dim permits so the search paths do not allocate.
+func gridCoordBuf(buf *[8]int, dim int) []int {
+	if dim <= len(buf) {
+		return buf[:dim]
+	}
+	return make([]int, dim)
+}
+
+// Nearest returns the id of the point closest to q under the L2 norm and
+// the squared distance to it. Ties are broken toward the lowest id, matching
+// a first-strictly-smaller linear scan over insertion order. It returns
+// (-1, 0) when the grid is empty.
+//
+// The ring expansion carries a visited-cell budget proportional to the point
+// count: when the cell size is badly matched to the point spacing (cells far
+// smaller than the gaps, so thousands of empty rings separate the query from
+// its neighbour), the search abandons the grid and answers with one flat
+// scan instead. The result is identical either way; the budget only bounds
+// the worst case at O(n) like the scan it falls back to.
+func (g *DynamicGrid) Nearest(q []float64) (int, float64) {
+	if len(q) != g.dim {
+		panic(fmt.Sprintf("index: Nearest query dim %d, index dim %d", len(q), g.dim))
+	}
+	if len(g.keys) == 0 {
+		return -1, 0
+	}
+	var bufQC, bufLo, bufHi, bufC [8]int
+	qc := gridCoordBuf(&bufQC, g.dim)
+	g.coordOf(q, qc)
+	// The farthest occupied ring from the query cell, after which expansion
+	// cannot find any point.
+	maxRing := 0
+	for j := 0; j < g.dim; j++ {
+		if d := qc[j] - g.lo[j]; d > maxRing {
+			maxRing = d
+		}
+		if d := g.hi[j] - qc[j]; d > maxRing {
+			maxRing = d
+		}
+	}
+	best, bestSq := -1, math.Inf(1)
+	loR := gridCoordBuf(&bufLo, g.dim)
+	hiR := gridCoordBuf(&bufHi, g.dim)
+	coord := gridCoordBuf(&bufC, g.dim)
+	budget := 2*len(g.keys) + 64
+	for r := 0; r <= maxRing; r++ {
+		// Every point in a cell at Chebyshev ring r is at least
+		// (r-1)·cellSize away from the query (the query sits somewhere inside
+		// its own cell), so once a candidate beats that bound the search is
+		// exact and can stop.
+		if best >= 0 && r >= 1 {
+			lb := float64(r-1) * g.cellSize
+			if lb*lb > bestSq {
+				break
+			}
+		}
+		if !g.scanRing(qc, r, loR, hiR, coord, q, &best, &bestSq, &budget) {
+			return vector.ArgminSqDistance(g.flat, g.dim, q)
+		}
+	}
+	return best, bestSq
+}
+
+// scanRing verifies every point in cells at Chebyshev distance exactly r
+// from the query cell, clamped to the occupied bounding box. It decrements
+// budget per visited cell and reports false when the budget is exhausted.
+func (g *DynamicGrid) scanRing(qc []int, r int, loR, hiR, coord []int, q []float64, best *int, bestSq *float64, budget *int) bool {
+	for j := 0; j < g.dim; j++ {
+		loR[j] = qc[j] - r
+		if loR[j] < g.lo[j] {
+			loR[j] = g.lo[j]
+		}
+		hiR[j] = qc[j] + r
+		if hiR[j] > g.hi[j] {
+			hiR[j] = g.hi[j]
+		}
+		if loR[j] > hiR[j] {
+			return true // ring entirely outside the occupied box
+		}
+	}
+	copy(coord, loR)
+	for {
+		// Only cells on the ring surface (Chebyshev distance exactly r).
+		cheb := 0
+		for j := 0; j < g.dim; j++ {
+			d := coord[j] - qc[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > cheb {
+				cheb = d
+			}
+		}
+		if cheb == r {
+			*budget = *budget - 1
+			if *budget < 0 {
+				return false
+			}
+			for _, id := range g.cells[coordHash(coord)] {
+				row := g.flat[id*g.dim : (id+1)*g.dim]
+				sq := vector.SqDistanceFlat(row, q)
+				if sq < *bestSq || (sq == *bestSq && id < *best) {
+					*best, *bestSq = id, sq
+				}
+			}
+		}
+		// Advance the odometer.
+		j := 0
+		for ; j < g.dim; j++ {
+			coord[j]++
+			if coord[j] <= hiR[j] {
+				break
+			}
+			coord[j] = loR[j]
+		}
+		if j == g.dim {
+			return true
+		}
+	}
+}

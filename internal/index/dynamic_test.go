@@ -1,0 +1,204 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randPts(rng *rand.Rand, n, dim int, scale float64) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = scale * (rng.Float64()*2 - 1)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestDynamicGridNearestMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, dim := range []int{1, 2, 3, 4} {
+		for _, n := range []int{1, 2, 17, 300} {
+			pts := randPts(rng, n, dim, 2)
+			g, err := NewDynamicGrid(dim, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pts {
+				if _, err := g.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			lin, err := NewLinear(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 50; trial++ {
+				q := randPts(rng, 1, dim, 2.5)[0]
+				gotID, gotSq := g.Nearest(q)
+				wantID, wantSq := lin.Nearest(q)
+				if gotID != wantID && math.Abs(gotSq-wantSq) > 1e-12 {
+					t.Fatalf("dim=%d n=%d: grid nearest %d (sq %v), linear %d (sq %v)",
+						dim, n, gotID, gotSq, wantID, wantSq)
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicGridUpdateDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const dim, n = 3, 120
+	pts := randPts(rng, n, dim, 1)
+	g, err := NewDynamicGrid(dim, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if _, err := g.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drift every point repeatedly (small steps and occasional jumps that
+	// cross cell boundaries), re-verifying exactness after each sweep.
+	for sweep := 0; sweep < 5; sweep++ {
+		for id := 0; id < n; id++ {
+			step := 0.05
+			if rng.Intn(10) == 0 {
+				step = 1.5 // jump to another cell
+			}
+			for j := 0; j < dim; j++ {
+				pts[id][j] += step * (rng.Float64()*2 - 1)
+			}
+			if err := g.Update(id, pts[id]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lin, err := NewLinear(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			q := randPts(rng, 1, dim, 2)[0]
+			gotID, gotSq := g.Nearest(q)
+			wantID, wantSq := lin.Nearest(q)
+			if gotID != wantID && math.Abs(gotSq-wantSq) > 1e-12 {
+				t.Fatalf("sweep %d: grid nearest %d (sq %v), linear %d (sq %v)",
+					sweep, gotID, gotSq, wantID, wantSq)
+			}
+		}
+	}
+}
+
+func TestDynamicGridEdgeCases(t *testing.T) {
+	if _, err := NewDynamicGrid(0, 1); err == nil {
+		t.Error("dim 0 should fail")
+	}
+	if _, err := NewDynamicGrid(2, 0); err == nil {
+		t.Error("cell size 0 should fail")
+	}
+	if _, err := NewDynamicGrid(2, math.NaN()); err == nil {
+		t.Error("NaN cell size should fail")
+	}
+	g, err := NewDynamicGrid(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := g.Nearest([]float64{0, 0}); id != -1 {
+		t.Errorf("empty grid nearest: got %d, want -1", id)
+	}
+	if _, err := g.Insert([]float64{1}); err == nil {
+		t.Error("wrong-dim insert should fail")
+	}
+	if err := g.Update(0, []float64{0, 0}); err == nil {
+		t.Error("update of unknown id should fail")
+	}
+	id, err := g.Insert([]float64{0.1, 0.2})
+	if err != nil || id != 0 {
+		t.Fatalf("insert: id=%d err=%v", id, err)
+	}
+	if err := g.Update(0, []float64{9}); err == nil {
+		t.Error("wrong-dim update should fail")
+	}
+	if got := g.At(0); got[0] != 0.1 || got[1] != 0.2 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if g.Len() != 1 || g.Dim() != 2 {
+		t.Errorf("Len/Dim = %d/%d", g.Len(), g.Dim())
+	}
+}
+
+func TestKDTreeNearestMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, dim := range []int{1, 2, 3, 5, 9} {
+		pts := randPts(rng, 400, dim, 1)
+		tree, err := NewKDTree(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin, err := NewLinear(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 60; trial++ {
+			q := randPts(rng, 1, dim, 1.2)[0]
+			gotID, gotSq := tree.Nearest(q)
+			wantID, wantSq := lin.Nearest(q)
+			if gotID != wantID && math.Abs(gotSq-wantSq) > 1e-12 {
+				t.Fatalf("dim=%d: kd nearest %d (sq %v), linear %d (sq %v)",
+					dim, gotID, gotSq, wantID, wantSq)
+			}
+		}
+	}
+}
+
+// TestDynamicGridPathologicalCellSize covers the budgeted fallback: with
+// cells orders of magnitude smaller than the point spacing, the ring
+// expansion would have to cross thousands of empty rings, so Nearest must
+// abandon the grid within its visited-cell budget and still answer exactly.
+func TestDynamicGridPathologicalCellSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const dim, n = 3, 200
+	pts := randPts(rng, n, dim, 1)
+	g, err := NewDynamicGrid(dim, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if _, err := g.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lin, err := NewLinear(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := randPts(rng, 1, dim, 1.5)[0]
+		gotID, gotSq := g.Nearest(q)
+		wantID, wantSq := lin.Nearest(q)
+		if gotID != wantID && math.Abs(gotSq-wantSq) > 1e-12 {
+			t.Fatalf("fallback: grid nearest %d (sq %v), linear %d (sq %v)", gotID, gotSq, wantID, wantSq)
+		}
+	}
+}
+
+func TestDynamicGridTieBreaksLowID(t *testing.T) {
+	g, err := NewDynamicGrid(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two points equidistant from the query, in different cells.
+	if _, err := g.Insert([]float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Insert([]float64{-1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := g.Nearest([]float64{0, 0}); id != 0 {
+		t.Errorf("tie: got id %d, want 0", id)
+	}
+}

@@ -1,0 +1,63 @@
+package index
+
+import (
+	"math"
+
+	"llmq/internal/vector"
+)
+
+// Nearest-neighbour search (L2) for the static indexes. The dynamic grid has
+// its own incremental implementation; these are the reference (Linear) and
+// tree-accelerated (KDTree) counterparts, validated against each other.
+
+// Nearest returns the id of the indexed point closest to center under the L2
+// norm and the squared distance to it. Ties break toward the lowest id. It
+// returns (-1, 0) when the index is empty (impossible for a constructed
+// Linear, which rejects empty point sets).
+func (l *Linear) Nearest(center []float64) (int, float64) {
+	best, bestSq := -1, math.Inf(1)
+	for i, pt := range l.pts {
+		if sq := vector.SqDistanceFlat(pt, center); sq < bestSq {
+			best, bestSq = i, sq
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestSq
+}
+
+// Nearest returns the id of the indexed point closest to center under the L2
+// norm and the squared distance to it, pruning subtrees whose splitting
+// plane is farther than the best candidate. Ties break toward the lowest id.
+func (t *KDTree) Nearest(center []float64) (int, float64) {
+	best, bestSq := -1, math.Inf(1)
+	t.nearest(t.root, center, &best, &bestSq)
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestSq
+}
+
+func (t *KDTree) nearest(nodeID int, center []float64, best *int, bestSq *float64) {
+	if nodeID < 0 {
+		return
+	}
+	node := t.nodes[nodeID]
+	pt := t.pts[node.pointID]
+	sq := vector.SqDistanceFlat(pt, center)
+	if sq < *bestSq || (sq == *bestSq && node.pointID < *best) {
+		*best, *bestSq = node.pointID, sq
+	}
+	diff := center[node.axis] - pt[node.axis]
+	near, far := node.left, node.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.nearest(near, center, best, bestSq)
+	// The far subtree can only contain a closer point when the splitting
+	// plane itself is closer than the current best.
+	if diff*diff <= *bestSq {
+		t.nearest(far, center, best, bestSq)
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func postBatch(t *testing.T, s *Server, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/query/batch", bytes.NewReader(b))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s := newServer(t, true)
+	rec := postBatch(t, s, BatchRequest{SQL: []string{
+		"SELECT APPROX AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)",
+		"SELECT AVG(u) FROM r1 WITHIN 0.15 OF (0.3, 0.7)",
+		"SELECT APPROX REGRESSION(u) FROM r1 WITHIN 0.15 OF (0.6, 0.4)",
+		"NOT SQL AT ALL",
+		"SELECT AVG(u) FROM r1 WITHIN 0.000001 OF (0.9, 0.9)", // empty subspace
+	}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 5 {
+		t.Fatalf("got %d results, want 5", len(resp.Results))
+	}
+	if resp.Results[0].Error != "" || resp.Results[0].Mean == nil {
+		t.Errorf("approx mean result: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error != "" || resp.Results[1].Mean == nil || resp.Results[1].Tuples == 0 {
+		t.Errorf("exact mean result: %+v", resp.Results[1])
+	}
+	if resp.Results[2].Error != "" || len(resp.Results[2].Models) == 0 {
+		t.Errorf("approx regression result: %+v", resp.Results[2])
+	}
+	if resp.Results[3].Error == "" {
+		t.Error("unparsable statement should report an error")
+	}
+	if resp.Results[4].Error == "" {
+		t.Error("empty subspace should report an error")
+	}
+
+	// Positional answers must match the single-statement endpoint.
+	single := httptest.NewRequest(http.MethodPost, "/query",
+		bytes.NewReader([]byte(`{"sql": "SELECT APPROX AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)"}`)))
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, single)
+	var one QueryResponse
+	if err := json.Unmarshal(rec2.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if *one.Mean != *resp.Results[0].Mean {
+		t.Errorf("batch mean %v != single mean %v", *resp.Results[0].Mean, *one.Mean)
+	}
+}
+
+func TestBatchEndpointLarge(t *testing.T) {
+	s := newServer(t, true)
+	sqls := make([]string, 64)
+	for i := range sqls {
+		sqls[i] = "SELECT APPROX AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)"
+	}
+	rec := postBatch(t, s, BatchRequest{SQL: sqls})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(resp.Results); i++ {
+		if *resp.Results[i].Mean != *resp.Results[0].Mean {
+			t.Fatalf("identical statements disagree at %d", i)
+		}
+	}
+}
+
+func TestBatchEndpointErrors(t *testing.T) {
+	s := newServer(t, false)
+	// Wrong method.
+	req := httptest.NewRequest(http.MethodGet, "/query/batch", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d", rec.Code)
+	}
+	// Bad body.
+	req = httptest.NewRequest(http.MethodPost, "/query/batch", bytes.NewReader([]byte("{")))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad body status %d", rec.Code)
+	}
+	// Empty list.
+	if rec := postBatch(t, s, BatchRequest{}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty list status %d", rec.Code)
+	}
+	// APPROX without a model reports per-item errors, not a request error.
+	rec = postBatch(t, s, BatchRequest{SQL: []string{"SELECT APPROX AVG(u) FROM r1 WITHIN 0.1 OF (0.5, 0.5)"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Error == "" {
+		t.Errorf("expected a per-item error, got %+v", resp.Results)
+	}
+}

@@ -6,13 +6,20 @@
 //
 // Endpoints:
 //
-//	POST /query   {"sql": "SELECT APPROX AVG(u) FROM t WITHIN 0.1 OF (0.5, 0.5)"}
-//	              → the parsed statement's answer (model-based for APPROX,
-//	                exact otherwise)
-//	GET  /model   → model metadata (K, steps, convergence, vigilance)
-//	GET  /healthz → liveness probe
+//	POST /query       {"sql": "SELECT APPROX AVG(u) FROM t WITHIN 0.1 OF (0.5, 0.5)"}
+//	                  → the parsed statement's answer (model-based for APPROX,
+//	                    exact otherwise)
+//	POST /query/batch {"sql": ["...", "..."]}
+//	                  → positional answers, evaluated concurrently over a
+//	                    bounded worker pool (the model is safe for concurrent
+//	                    reads, and the exact executor never mutates the table)
+//	GET  /model       → model metadata (K, steps, convergence, vigilance)
+//	GET  /healthz     → liveness probe
 //
 // The handler is a plain http.Handler so it can be mounted into any mux.
+// Individual requests already run on separate goroutines under net/http;
+// the batch endpoint additionally parallelizes within one request, so a
+// single analyst submitting a query sheet saturates the cores too.
 package serve
 
 import (
@@ -34,14 +41,28 @@ type Server struct {
 	mux   *http.ServeMux
 }
 
+const (
+	// maxBatchStatements caps one /query/batch request: a single POST must
+	// not be able to monopolize every worker for an unbounded stretch.
+	maxBatchStatements = 4096
+	// maxBodyBytes bounds request bodies before JSON decoding; generous for
+	// maxBatchStatements full-length statements.
+	maxBodyBytes = 4 << 20
+)
+
 // New creates a server. The executor is required; the model may be nil, in
 // which case APPROX statements are rejected with 409.
 func New(e *exec.Executor, m *core.Model) (*Server, error) {
 	if e == nil {
 		return nil, errors.New("serve: executor is required")
 	}
+	if m != nil && m.K() > 0 && m.Config().Dim != len(e.InputNames()) {
+		return nil, fmt.Errorf("serve: model dim %d does not match the relation's %d input attributes",
+			m.Config().Dim, len(e.InputNames()))
+	}
 	s := &Server{exec: e, model: m, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query/batch", s.handleBatch)
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s, nil
@@ -129,7 +150,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return
 	}
@@ -137,19 +158,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing sql"))
 		return
 	}
-	stmt, err := sqlfront.Parse(req.SQL)
+	stmt, status, err := s.parseStatement(req.SQL)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if len(stmt.Center) != len(s.exec.InputNames()) {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("query centre has %d coordinates, relation has %d input attributes",
-				len(stmt.Center), len(s.exec.InputNames())))
-		return
-	}
-	if stmt.Approx && (s.model == nil || s.model.K() == 0) {
-		writeError(w, http.StatusConflict, errors.New("no trained model loaded for APPROX statements"))
+		writeError(w, status, err)
 		return
 	}
 	resp, err := s.answer(stmt)
@@ -162,6 +173,84 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseStatement parses and validates one SQL statement against the served
+// relation and model, returning the HTTP status to use on error.
+func (s *Server) parseStatement(sql string) (*sqlfront.Statement, int, error) {
+	stmt, err := sqlfront.Parse(sql)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if len(stmt.Center) != len(s.exec.InputNames()) {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("query centre has %d coordinates, relation has %d input attributes",
+				len(stmt.Center), len(s.exec.InputNames()))
+	}
+	if stmt.Approx && (s.model == nil || s.model.K() == 0) {
+		return nil, http.StatusConflict, errors.New("no trained model loaded for APPROX statements")
+	}
+	return stmt, http.StatusOK, nil
+}
+
+// BatchRequest is the body of POST /query/batch.
+type BatchRequest struct {
+	SQL []string `json:"sql"`
+}
+
+// BatchItem is one positional result of a batch: either the statement's
+// answer or its error string.
+type BatchItem struct {
+	*QueryResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the body returned by POST /query/batch.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+	// Elapsed is the wall-clock time of the whole batch; with the bounded
+	// worker pool it approaches (slowest statement) + (total work / cores).
+	Elapsed string `json:"elapsed"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if len(req.SQL) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("missing sql statements"))
+		return
+	}
+	if len(req.SQL) > maxBatchStatements {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch has %d statements, limit is %d", len(req.SQL), maxBatchStatements))
+		return
+	}
+	start := time.Now()
+	items := make([]BatchItem, len(req.SQL))
+	exec.ForEachParallel(len(req.SQL), func(i int) {
+		stmt, _, err := s.parseStatement(req.SQL[i])
+		if err != nil {
+			items[i] = BatchItem{Error: err.Error()}
+			return
+		}
+		resp, err := s.answer(stmt)
+		if err != nil {
+			items[i] = BatchItem{Error: err.Error()}
+			return
+		}
+		items[i] = BatchItem{QueryResponse: resp}
+	})
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Results: items,
+		Elapsed: time.Since(start).String(),
+	})
 }
 
 func (s *Server) answer(stmt *sqlfront.Statement) (*QueryResponse, error) {

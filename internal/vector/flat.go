@@ -1,0 +1,235 @@
+package vector
+
+// Flat (struct-of-arrays) kernels over row-major matrices. The prototype
+// store in internal/core packs all K prototypes into one contiguous
+// []float64 of K rows × d columns; the kernels below scan it without
+// allocating, without pointer chasing, and without taking a square root per
+// candidate — the winner search of Eq. (5) only needs the argmin of the
+// squared L2 distance, which is monotone in the true distance.
+
+// SqDistanceFlat returns the squared L2 distance between two equal-length
+// slices. It is the 4-way unrolled counterpart of SqDistance for the flat
+// prototype store hot path. The four partial sums reassociate the
+// accumulation, so the result may differ from SqDistance in the final ulps
+// (callers comparing against the sequential kernel must use a tolerance).
+func SqDistanceFlat(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(dimError("SqDistanceFlat", len(a), len(b)))
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// SqDistanceWithin computes the squared L2 distance between a and b with an
+// early cutoff: it reports within=false as soon as the partial sum of
+// squares (a lower bound on the full distance) exceeds cutoffSq, in which
+// case the returned value is the partial sum, not the full distance. When
+// within is true the returned value is the exact squared distance and it is
+// at most cutoffSq.
+func SqDistanceWithin(a, b []float64, cutoffSq float64) (float64, bool) {
+	if len(a) != len(b) {
+		panic(dimError("SqDistanceWithin", len(a), len(b)))
+	}
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s += (d0*d0 + d1*d1) + (d2*d2 + d3*d3)
+		if s > cutoffSq {
+			return s, false
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s, s <= cutoffSq
+}
+
+// ArgminSqDistance scans the row-major flat matrix (len(flat)/d rows of
+// dimension d) and returns the index of the row closest to q together with
+// the squared L2 distance to it. Ties are broken toward the lowest row
+// index, matching a first-strictly-smaller linear scan. It returns (-1, +Inf
+// equivalent) semantics as (-1, 0) when the matrix is empty.
+//
+// Common widths dispatch to fully unrolled kernels (constant loop bounds let
+// the compiler eliminate every bounds check and keep q in registers) that
+// also abandon a row once its partial sum already exceeds the best: the
+// partial sum of squares is a lower bound on the full squared distance, so a
+// pruned row can never have won, and a row tying the best is skipped by the
+// strict comparison either way — the result is identical to the plain scan.
+func ArgminSqDistance(flat []float64, d int, q []float64) (int, float64) {
+	if d <= 0 {
+		panic("vector: ArgminSqDistance requires positive dimension")
+	}
+	if len(q) != d {
+		panic(dimError("ArgminSqDistance", len(q), d))
+	}
+	if len(flat)%d != 0 {
+		panic("vector: ArgminSqDistance flat length not a multiple of dimension")
+	}
+	rows := len(flat) / d
+	if rows == 0 {
+		return -1, 0
+	}
+	return argminSeeded(flat, d, q, 0, SqDistanceFlat(flat[:d], q))
+}
+
+// ArgminSqDistanceSeeded is ArgminSqDistance initialized with a known
+// candidate (row seedIdx at squared distance seedSq): rows whose partial sum
+// already exceeds the running best are abandoned early, so a good seed —
+// e.g. from a projection or spatial index — lets the scan skip most of every
+// row while remaining exact. On ties with the seed the seed wins, which
+// satisfies the winner contract (any index at the minimum distance).
+func ArgminSqDistanceSeeded(flat []float64, d int, q []float64, seedIdx int, seedSq float64) (int, float64) {
+	if d <= 0 {
+		panic("vector: ArgminSqDistanceSeeded requires positive dimension")
+	}
+	if len(q) != d {
+		panic(dimError("ArgminSqDistanceSeeded", len(q), d))
+	}
+	if len(flat)%d != 0 {
+		panic("vector: ArgminSqDistanceSeeded flat length not a multiple of dimension")
+	}
+	if len(flat) == 0 {
+		return -1, 0
+	}
+	return argminSeeded(flat, d, q, seedIdx, seedSq)
+}
+
+// argminSeeded scans every row with the running best initialized to
+// (best, bestSq), dispatching to the unrolled width specializations.
+func argminSeeded(flat []float64, d int, q []float64, best int, bestSq float64) (int, float64) {
+	switch d {
+	case 3:
+		return argmin3(flat, q, best, bestSq)
+	case 4:
+		return argmin4(flat, q, best, bestSq)
+	case 5:
+		return argmin5(flat, q, best, bestSq)
+	case 9:
+		return argmin9(flat, q, best, bestSq)
+	}
+	rows := len(flat) / d
+	for k := 0; k < rows; k++ {
+		row := flat[k*d : (k+1)*d : (k+1)*d]
+		var s float64
+		i := 0
+		pruned := false
+		for ; i+4 <= d; i += 4 {
+			d0 := row[i] - q[i]
+			d1 := row[i+1] - q[i+1]
+			d2 := row[i+2] - q[i+2]
+			d3 := row[i+3] - q[i+3]
+			s += (d0*d0 + d1*d1) + (d2*d2 + d3*d3)
+			if s >= bestSq {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		for ; i < d; i++ {
+			dd := row[i] - q[i]
+			s += dd * dd
+		}
+		if s < bestSq {
+			best, bestSq = k, s
+		}
+	}
+	return best, bestSq
+}
+
+// argmin3 is the width-3 specialization ([x1, x2, θ] query spaces, the
+// paper's d=2 workloads).
+func argmin3(flat, q []float64, best int, bestSq float64) (int, float64) {
+	q0, q1, q2 := q[0], q[1], q[2]
+	for k, base := 0, 0; base+3 <= len(flat); k, base = k+1, base+3 {
+		row := flat[base : base+3 : base+3]
+		d0 := row[0] - q0
+		d1 := row[1] - q1
+		d2 := row[2] - q2
+		if sq := (d0*d0 + d1*d1) + d2*d2; sq < bestSq {
+			best, bestSq = k, sq
+		}
+	}
+	return best, bestSq
+}
+
+// argmin4 is the width-4 specialization (d=3 query spaces).
+func argmin4(flat, q []float64, best int, bestSq float64) (int, float64) {
+	q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+	for k, base := 0, 0; base+4 <= len(flat); k, base = k+1, base+4 {
+		row := flat[base : base+4 : base+4]
+		d0 := row[0] - q0
+		d1 := row[1] - q1
+		d2 := row[2] - q2
+		d3 := row[3] - q3
+		if sq := (d0*d0 + d1*d1) + (d2*d2 + d3*d3); sq < bestSq {
+			best, bestSq = k, sq
+		}
+	}
+	return best, bestSq
+}
+
+// argmin5 is the width-5 specialization (d=4 query spaces).
+func argmin5(flat, q []float64, best int, bestSq float64) (int, float64) {
+	q0, q1, q2, q3, q4 := q[0], q[1], q[2], q[3], q[4]
+	for k, base := 0, 0; base+5 <= len(flat); k, base = k+1, base+5 {
+		row := flat[base : base+5 : base+5]
+		d0 := row[0] - q0
+		d1 := row[1] - q1
+		d2 := row[2] - q2
+		d3 := row[3] - q3
+		d4 := row[4] - q4
+		if sq := (d0*d0 + d1*d1) + (d2*d2 + d3*d3) + d4*d4; sq < bestSq {
+			best, bestSq = k, sq
+		}
+	}
+	return best, bestSq
+}
+
+// argmin9 is the width-9 specialization (d=8 query spaces) with a partial-
+// distance cutoff after the first four components.
+func argmin9(flat, q []float64, best int, bestSq float64) (int, float64) {
+	q0, q1, q2, q3, q4, q5, q6, q7, q8 := q[0], q[1], q[2], q[3], q[4], q[5], q[6], q[7], q[8]
+	for k, base := 0, 0; base+9 <= len(flat); k, base = k+1, base+9 {
+		row := flat[base : base+9 : base+9]
+		d0 := row[0] - q0
+		d1 := row[1] - q1
+		d2 := row[2] - q2
+		d3 := row[3] - q3
+		s := (d0*d0 + d1*d1) + (d2*d2 + d3*d3)
+		if s >= bestSq {
+			continue
+		}
+		d4 := row[4] - q4
+		d5 := row[5] - q5
+		d6 := row[6] - q6
+		d7 := row[7] - q7
+		d8 := row[8] - q8
+		if sq := s + (d4*d4 + d5*d5) + (d6*d6 + d7*d7) + d8*d8; sq < bestSq {
+			best, bestSq = k, sq
+		}
+	}
+	return best, bestSq
+}

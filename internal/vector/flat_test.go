@@ -1,0 +1,136 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSqDistanceFlatMatchesSqDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 64} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		want := SqDistance(a, b)
+		got := SqDistanceFlat(a, b)
+		if math.Abs(got-want) > 1e-12*(1+want) {
+			t.Errorf("n=%d: SqDistanceFlat=%v, SqDistance=%v", n, got, want)
+		}
+	}
+}
+
+func TestSqDistanceFlatDimensionMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	SqDistanceFlat([]float64{1, 2}, []float64{1})
+}
+
+func TestArgminSqDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range []int{1, 2, 3, 4, 5, 8, 9, 13} {
+		for _, rows := range []int{1, 2, 7, 100} {
+			flat := make([]float64, rows*d)
+			for i := range flat {
+				flat[i] = rng.NormFloat64()
+			}
+			q := make([]float64, d)
+			for i := range q {
+				q[i] = rng.NormFloat64()
+			}
+			got, gotSq := ArgminSqDistance(flat, d, q)
+			// Brute force with the sequential kernel.
+			want, wantSq := 0, math.Inf(1)
+			for k := 0; k < rows; k++ {
+				if sq := SqDistance(flat[k*d:(k+1)*d], q); sq < wantSq {
+					want, wantSq = k, sq
+				}
+			}
+			if got != want && math.Abs(gotSq-wantSq) > 1e-12*(1+wantSq) {
+				t.Errorf("d=%d rows=%d: argmin %d (sq %v), want %d (sq %v)", d, rows, got, gotSq, want, wantSq)
+			}
+		}
+	}
+}
+
+func TestArgminSqDistanceTieBreaksLow(t *testing.T) {
+	// Two identical rows: the scan must return the first.
+	flat := []float64{1, 2, 3, 9, 9, 9, 1, 2, 3}
+	idx, sq := ArgminSqDistance(flat, 3, []float64{1, 2, 3})
+	if idx != 0 || sq != 0 {
+		t.Errorf("tie-break: got (%d, %v), want (0, 0)", idx, sq)
+	}
+}
+
+func TestArgminSqDistanceEmpty(t *testing.T) {
+	idx, _ := ArgminSqDistance(nil, 4, make([]float64, 4))
+	if idx != -1 {
+		t.Errorf("empty matrix: got index %d, want -1", idx)
+	}
+}
+
+func BenchmarkSqDistanceFlat8(b *testing.B) {
+	v := make([]float64, 8)
+	w := make([]float64, 8)
+	for i := range v {
+		v[i] = float64(i)
+		w[i] = float64(i) * 1.5
+	}
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += SqDistanceFlat(v, w)
+	}
+	_ = sink
+}
+
+func BenchmarkArgminSqDistance1000x9(b *testing.B) {
+	const rows, d = 1000, 9
+	flat := make([]float64, rows*d)
+	rng := rand.New(rand.NewSource(1))
+	for i := range flat {
+		flat[i] = rng.Float64()
+	}
+	q := make([]float64, d)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q[0] = float64(i % 17)
+		if idx, _ := ArgminSqDistance(flat, d, q); idx < 0 {
+			b.Fatal("no winner")
+		}
+	}
+}
+
+func BenchmarkArgminSeededOracle1000x9(b *testing.B) {
+	const rows, d = 1000, 9
+	flat := make([]float64, rows*d)
+	rng := rand.New(rand.NewSource(1))
+	for i := range flat {
+		flat[i] = rng.Float64()
+	}
+	qs := make([][]float64, 64)
+	seeds := make([]int, 64)
+	seedSqs := make([]float64, 64)
+	for t := range qs {
+		q := make([]float64, d)
+		for i := range q {
+			q[i] = rng.Float64()
+		}
+		qs[t] = q
+		seeds[t], seedSqs[t] = ArgminSqDistance(flat, d, q)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := i % len(qs)
+		if idx, _ := ArgminSqDistanceSeeded(flat, d, qs[t], seeds[t], seedSqs[t]); idx < 0 {
+			b.Fatal("no winner")
+		}
+	}
+}

@@ -124,20 +124,42 @@ func toRadius(q core.Query) exec.RadiusQuery {
 // (query, answer) pairs. Queries whose subspace is empty are skipped (they
 // produce no answer in the paper's setting either); the method keeps
 // generating until n usable pairs exist or 10·n attempts have been made.
+//
+// Queries are generated sequentially (the generator stream stays
+// deterministic for a given seed) but executed in chunks through the
+// executor's parallel batch path, so producing the training stream scales
+// with the available cores. Each chunk draws exactly the number of pairs
+// still needed, so both the resulting pairs AND the generator stream are
+// identical to a one-query-at-a-time loop — callers that keep drawing from
+// the same generator (e.g. for evaluation sets) see the same queries either
+// way.
 func (h *Harness) TrainingPairs(n int) ([]core.TrainingPair, error) {
 	pairs := make([]core.TrainingPair, 0, n)
 	attempts := 0
 	for len(pairs) < n && attempts < 10*n {
-		attempts++
-		q := h.Gen.Next()
-		res, err := h.Exec.Mean(toRadius(q))
-		if errors.Is(err, exec.ErrEmptySubspace) {
-			continue
+		chunk := n - len(pairs)
+		if rem := 10*n - attempts; chunk > rem {
+			chunk = rem
 		}
-		if err != nil {
-			return nil, err
+		queries := h.Gen.Queries(chunk)
+		attempts += chunk
+		rqs := make([]exec.RadiusQuery, len(queries))
+		for i, q := range queries {
+			rqs[i] = toRadius(q)
 		}
-		pairs = append(pairs, core.TrainingPair{Query: q, Answer: res.Mean})
+		results, errs := h.Exec.MeanBatch(rqs)
+		for i := range queries {
+			if len(pairs) == n {
+				break
+			}
+			if errors.Is(errs[i], exec.ErrEmptySubspace) {
+				continue
+			}
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			pairs = append(pairs, core.TrainingPair{Query: queries[i], Answer: results[i].Mean})
+		}
 	}
 	if len(pairs) == 0 {
 		return nil, ErrNoUsableQueries

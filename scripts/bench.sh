@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# bench.sh — run the serving-hot-path benchmarks and record ns/op as JSON.
+#
+# Usage: scripts/bench.sh [index]
+#
+# Writes BENCH_<index>.json (default BENCH_1.json) in the repository root:
+# one entry per benchmark with its ns/op, plus the GOMAXPROCS the run saw.
+# Successive PRs bump the index to build a performance trajectory.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="BENCH_${1:-1}.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkWinnerSearch' -benchtime "${WINNER_BENCHTIME:-2000x}" \
+    ./internal/core/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkPredictBatch|BenchmarkServeThroughput' \
+    -benchtime "${BATCH_BENCHTIME:-100x}" . >>"$tmp"
+
+GOMAXPROCS_SEEN="$(go env GOMAXPROCS 2>/dev/null || true)"
+
+awk -v gmp="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
+BEGIN { print "{"; printf "  \"gomaxprocs\": %d,\n", gmp; print "  \"benchmarks\": ["; n = 0 }
+/^Benchmark/ {
+    name = $1
+    for (i = 2; i <= NF - 1; i++) {
+        if ($(i + 1) == "ns/op") {
+            if (n++) printf ",\n"
+            printf "    {\"name\": \"%s\", \"ns_per_op\": %s}", name, $i
+        }
+    }
+}
+END { print ""; print "  ]"; print "}" }
+' "$tmp" >"$out"
+
+echo "wrote $out:"
+cat "$out"
