@@ -54,6 +54,8 @@ func run(args []string, out io.Writer) error {
 		return cmdQuery(args[1:], out)
 	case "batch":
 		return cmdBatch(args[1:], out)
+	case "serve":
+		return cmdServe(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -71,6 +73,7 @@ subcommands:
   train     execute a random query workload against the dataset and train an LLM model
   query     answer a SQL-like analytics statement exactly or with a trained model
   batch     answer a file of statements (one per line) in parallel over a worker pool
+  serve     expose the relation (and optional model) as the HTTP analytics service
 `)
 }
 

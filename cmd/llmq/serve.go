@@ -1,0 +1,71 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"llmq/internal/core"
+	"llmq/internal/serve"
+)
+
+// cmdServe stands up the HTTP analytics service of internal/serve over one
+// CSV-backed relation: the exact executor answers plain statements, and a
+// trained model (optional) answers APPROX statements without data access.
+func cmdServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	data := fs.String("data", "", "dataset CSV backing the relation (required)")
+	modelPath := fs.String("model", "", "trained model JSON (optional; required for APPROX statements)")
+	addr := fs.String("addr", ":8080", "listen address, host:port")
+	cell := fs.Float64("cell", 0, "spatial-index cell size (default: auto from the data bounds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return errors.New("serve: -data is required")
+	}
+	s, info, err := buildServer(*data, *modelPath, *cell)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintf(out, "llmq: serving %s on http://%s\n", info, ln.Addr())
+	srv := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	return srv.Serve(ln)
+}
+
+// buildServer loads the relation (and the model, when given), validates the
+// two against each other, and wires the HTTP handler. Split from cmdServe so
+// the smoke test can drive the full construction path without binding a
+// port.
+func buildServer(dataPath, modelPath string, cell float64) (*serve.Server, string, error) {
+	e, ds, err := loadExecutor(dataPath, cell)
+	if err != nil {
+		return nil, "", err
+	}
+	var model *core.Model
+	if modelPath != "" {
+		model, err = loadModel(modelPath, ds.Dim())
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	s, err := serve.New(e, model)
+	if err != nil {
+		return nil, "", err
+	}
+	info := fmt.Sprintf("%q (%d tuples, %d input attributes)", ds.Name, ds.Len(), ds.Dim())
+	if model != nil {
+		info += fmt.Sprintf(" with a K=%d model", model.K())
+	} else {
+		info += " without a model (exact statements only)"
+	}
+	return s, info, nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServeSmoke drives the serve subcommand's construction path end to end
+// — generate a dataset, train a model, build the HTTP server from the same
+// flags cmdServe uses — and smokes the mounted endpoints through httptest.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "r1.csv")
+	model := filepath.Join(dir, "model.json")
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-dataset", "R1", "-n", "4000", "-dim", "2", "-seed", "3", "-o", data}, &out); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if err := run([]string{"train", "-data", data, "-a", "0.2", "-pairs", "1500", "-o", model}, &out); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+
+	s, info, err := buildServer(data, model, 0)
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	if !strings.Contains(info, "K=") {
+		t.Errorf("server info %q should mention the model size", info)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body := `{"sql": "SELECT APPROX AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)"}`
+	resp, err = http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Mean *float64 `json:"mean"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || qr.Mean == nil {
+		t.Fatalf("APPROX query failed: status %d, body %+v", resp.StatusCode, qr)
+	}
+
+	// Without a model, APPROX statements are rejected but the server stands.
+	s2, info2, err := buildServer(data, "", 0)
+	if err != nil {
+		t.Fatalf("buildServer without model: %v", err)
+	}
+	if !strings.Contains(info2, "without a model") {
+		t.Errorf("server info %q should flag the missing model", info2)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	resp, err = http.Post(ts2.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("APPROX without model: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServeFlagValidation covers the argument error paths.
+func TestServeFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"serve"}, &out); err == nil {
+		t.Error("serve without -data should error")
+	}
+	if err := run([]string{"serve", "-data", "/nonexistent.csv"}, &out); err == nil {
+		t.Error("serve with a missing dataset should error")
+	}
+	if err := run([]string{"serve", "-bogusflag"}, &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

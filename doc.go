@@ -16,17 +16,24 @@
 // # Serving performance
 //
 // The model's read path is built for heavy concurrent traffic: all
-// prototypes live in one contiguous struct-of-arrays matrix scanned by
-// allocation-free unrolled kernels (internal/vector), the winner search of
-// Eq. (5) is accelerated by an incremental uniform grid in low-dimensional
-// query spaces and by a sorted projection spine in wide ones (both exact),
-// and the model is safe for concurrent use — prediction methods share a
-// read lock while Observe/Train write under exclusion. PredictBatch and
-// TrainBatch, the executor's MeanBatch/RegressionBatch, the HTTP
-// /query/batch endpoint and the llmq batch subcommand fan work out over
-// bounded worker pools. PERFORMANCE.md documents the layout, the exactness
-// arguments and the measured speedups; scripts/bench.sh records the
-// trajectory in BENCH_<n>.json.
+// prototypes and LLM coefficients live in contiguous struct-of-arrays
+// matrices scanned by allocation-free unrolled kernels (internal/vector),
+// and both the winner search of Eq. (5) and the overlap set W(q) of
+// Eq. (10) — hence whole predictions, not just one subroutine — run as
+// exact sub-O(K) searches: a uniform grid answers nearest and radius
+// queries in low-dimensional query spaces, a Cauchy–Schwarz projection
+// spine in wide ones, with prototype drift between index rebuilds covered
+// by a verified slack budget. Reads are lock-free: training publishes
+// immutable copy-on-write snapshots through an atomic pointer, every
+// prediction answers from one consistent published version with zero
+// locking, and Model.View pins a version across calls — the zero-downtime
+// retrain/model-swap primitive. PredictBatch and TrainBatch, the
+// executor's MeanBatch/RegressionBatch, the HTTP /query/batch endpoint and
+// the llmq batch subcommand fan work out over bounded worker pools, and
+// the llmq serve subcommand stands the HTTP service up directly.
+// PERFORMANCE.md documents the layout, the exactness arguments and the
+// measured speedups; scripts/bench.sh records the trajectory in
+// BENCH_<n>.json.
 //
 // The benchmarks in bench_test.go regenerate every figure of the paper's
 // evaluation at a reduced scale; run them with

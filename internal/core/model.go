@@ -6,8 +6,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"llmq/internal/vector"
 )
 
 // Solver selects how the per-prototype LLM coefficients (y_k, b_k) are
@@ -128,17 +126,22 @@ func (c Config) validate() (Config, error) {
 
 // Model is the trained (or in-training) query-driven LLM model.
 //
-// A Model is safe for concurrent use: the prediction methods (PredictMean,
-// Regression, PredictValue, Winner, Neighborhood, PredictBatch, Save and the
-// accessors) take a shared read lock, while Observe/Train/TrainBatch take
-// the exclusive write lock. Readers never block each other, so a trained
-// model serves queries from any number of goroutines while a trainer keeps
-// absorbing the stream.
+// A Model is safe for concurrent use, and its read side is lock-free: every
+// prediction method (PredictMean, Regression, PredictValue, Winner,
+// Neighborhood, PredictBatch, Save and the accessors) answers from an
+// immutable storeSnapshot obtained with one atomic pointer load — no mutex,
+// no reader/writer contention, no blocking behind a training stream.
+// Observe/Train/TrainBatch serialize on a writer mutex, build the next
+// version, and publish it with one atomic store (copy-on-write). Use View
+// to pin one version across several calls; see View for the zero-downtime
+// model-swap pattern.
 type Model struct {
-	mu         sync.RWMutex
-	cfg        Config
-	llms       []*LLM
-	store      *protoStore // contiguous [x_k, θ_k] mirror + spatial index
+	cfg  Config
+	snap atomic.Pointer[storeSnapshot] // published serving state
+
+	mu         sync.Mutex  // guards everything below (the writer state)
+	llms       []*LLM      // authoritative training state (solver matrices)
+	store      *protoStore // contiguous [x_k, θ_k] + coefficient mirrors
 	steps      int         // training pairs consumed
 	converged  bool        // termination criterion reached
 	lastGamma  float64     // most recent Γ value
@@ -178,44 +181,45 @@ func NewModel(cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{cfg: c, store: newProtoStore(c.Dim, c.Vigilance)}, nil
+	m := &Model{cfg: c, store: newProtoStore(c.Dim, c.Vigilance)}
+	m.publishLocked() // the empty version, so reads never see a nil snapshot
+	return m, nil
 }
+
+// publishLocked builds and installs the next immutable serving snapshot.
+// The caller holds the writer lock (or, during construction/Load, is the
+// sole owner of the model).
+func (m *Model) publishLocked() {
+	m.snap.Store(m.store.publish(m.cfg.Dim, m.steps, m.converged, m.lastGamma))
+}
+
+// View pins the current published model version: every method of the
+// returned View answers from that version, unaffected by concurrent
+// training. Views are one pointer wide — take a fresh one per request for
+// the latest version, or hold one to serve a consistent batch.
+func (m *Model) View() View { return View{s: m.snap.Load()} }
 
 // Config returns the normalized configuration (with the derived vigilance).
 func (m *Model) Config() Config { return m.cfg }
 
 // K returns the current number of prototypes/LLMs.
-func (m *Model) K() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.llms)
-}
+func (m *Model) K() int { return m.View().K() }
 
 // Steps returns how many training pairs the model has consumed.
-func (m *Model) Steps() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.steps
-}
+func (m *Model) Steps() int { return m.View().Steps() }
 
 // Converged reports whether the termination criterion has fired.
-func (m *Model) Converged() bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.converged
-}
+func (m *Model) Converged() bool { return m.View().Converged() }
 
 // LastGamma returns the most recent value of the termination criterion Γ.
-func (m *Model) LastGamma() float64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.lastGamma
-}
+func (m *Model) LastGamma() float64 { return m.View().LastGamma() }
 
-// LLMs returns deep copies of the trained local linear mappings.
+// LLMs returns deep copies of the trained local linear mappings, including
+// their solver state. Unlike the prediction methods it reads the
+// authoritative training objects, so it serializes with the writer.
 func (m *Model) LLMs() []*LLM {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]*LLM, len(m.llms))
 	for i, l := range m.llms {
 		out[i] = l.clone()
@@ -235,7 +239,13 @@ func (m *Model) Observe(q Query, answer float64) (StepInfo, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.observeLocked(q, answer), nil
+	frozen := m.converged
+	info := m.observeLocked(q, answer)
+	if !frozen {
+		// Publish the new version; a frozen model mutated nothing.
+		m.publishLocked()
+	}
+	return info, nil
 }
 
 // observeLocked applies one training step. The caller holds the write lock
@@ -254,6 +264,7 @@ func (m *Model) observeLocked(q Query, answer float64) StepInfo {
 	if len(m.llms) == 0 {
 		m.llms = append(m.llms, newLLM(q, m.initIntercept(answer)))
 		m.store.add(q.Center, q.Theta)
+		m.store.syncCoef(0, m.llms[0])
 		info.Created = true
 		info.Winner = 0
 		info.K = 1
@@ -277,6 +288,7 @@ func (m *Model) observeLocked(q Query, answer float64) StepInfo {
 		// Spawn a new prototype at the query (Algorithm 1, else branch).
 		m.llms = append(m.llms, newLLM(q, m.initIntercept(answer)))
 		m.store.add(q.Center, q.Theta)
+		m.store.syncCoef(len(m.llms)-1, m.llms[len(m.llms)-1])
 		info.Created = true
 		info.Winner = len(m.llms) - 1
 		info.K = len(m.llms)
@@ -337,6 +349,7 @@ func (m *Model) observeLocked(q Query, answer float64) StepInfo {
 	}
 
 	l.Wins++
+	m.store.syncCoef(winner, l)
 	info.Winner = winner
 	info.GammaJ = gammaJ
 	info.GammaH = gammaH
@@ -367,16 +380,7 @@ func (m *Model) initIntercept(answer float64) float64 {
 // (the winner of Eq. 5, i.e. the LLM whose Voronoi cell q falls in) and the
 // query-space distance to it.
 func (m *Model) Winner(q Query) (int, float64, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if len(m.llms) == 0 {
-		return 0, 0, ErrNotTrained
-	}
-	if q.Dim() != m.cfg.Dim {
-		return 0, 0, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), m.cfg.Dim)
-	}
-	k, dist := m.store.winnerQuery(q)
-	return k, dist, nil
+	return m.View().Winner(q)
 }
 
 // TrainingResult summarizes a Train run.
@@ -410,21 +414,24 @@ func (m *Model) Train(pairs []TrainingPair) (TrainingResult, error) {
 			break
 		}
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	res.Steps = m.steps
-	res.K = len(m.llms)
-	res.Converged = m.converged
-	res.FinalGamma = m.lastGamma
+	s := m.snap.Load()
+	res.Steps = s.steps
+	res.K = s.k
+	res.Converged = s.converged
+	res.FinalGamma = s.lastGamma
 	return res, nil
 }
 
-// TrainBatch consumes pairs like Train but under a single write-lock
-// acquisition. The paper's joint AVQ/SGD update is inherently sequential —
-// step t+1's winner depends on step t's drift — so batching does not change
-// the math; it amortizes synchronization for bulk ingestion (initial
-// training, model rebuilds) where blocking readers for the duration is
-// acceptable. Pairs are validated before any step is applied.
+// TrainBatch consumes pairs like Train but under a single writer-lock
+// acquisition and a single snapshot publication. The paper's joint AVQ/SGD
+// update is inherently sequential — step t+1's winner depends on step t's
+// drift — so batching does not change the math; it amortizes both the
+// synchronization and the copy-on-write publication cost (one O(K) copy for
+// the whole batch instead of one per pair), which makes it the preferred
+// bulk-ingestion path. Concurrent readers keep answering from the previous
+// published version for the duration and atomically see the post-batch
+// model afterwards — a zero-downtime retrain. Pairs are validated before
+// any step is applied.
 func (m *Model) TrainBatch(pairs []TrainingPair) (TrainingResult, error) {
 	res := TrainingResult{GammaTrace: make([]float64, 0, len(pairs))}
 	for _, p := range pairs {
@@ -444,6 +451,7 @@ func (m *Model) TrainBatch(pairs []TrainingPair) (TrainingResult, error) {
 			break
 		}
 	}
+	m.publishLocked()
 	res.Steps = m.steps
 	res.K = len(m.llms)
 	res.Converged = m.converged
@@ -453,23 +461,22 @@ func (m *Model) TrainBatch(pairs []TrainingPair) (TrainingResult, error) {
 
 // PredictBatch answers many Q1 mean-value queries with a bounded worker
 // pool: queries are validated up front, then min(GOMAXPROCS, len(queries))
-// workers drain them over the shared read lock. Results are positional. The
-// per-query cost is independent of the data size (the paper's central
-// property), so batching exists purely to saturate cores under heavy query
-// traffic, not to amortize data access.
+// workers drain them over one pinned model version — the whole batch is
+// answered from a single published snapshot, so the results are mutually
+// consistent even while training streams in concurrently. Results are
+// positional. The per-query cost is independent of the data size (the
+// paper's central property), so batching exists purely to saturate cores
+// under heavy query traffic, not to amortize data access.
 func (m *Model) PredictBatch(queries []Query) ([]float64, error) {
-	m.mu.RLock()
-	if len(m.llms) == 0 {
-		m.mu.RUnlock()
+	v := m.View()
+	if v.K() == 0 {
 		return nil, ErrNotTrained
 	}
 	for _, q := range queries {
 		if q.Dim() != m.cfg.Dim {
-			m.mu.RUnlock()
 			return nil, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), m.cfg.Dim)
 		}
 	}
-	m.mu.RUnlock()
 
 	out := make([]float64, len(queries))
 	workers := runtime.GOMAXPROCS(0)
@@ -478,7 +485,7 @@ func (m *Model) PredictBatch(queries []Query) ([]float64, error) {
 	}
 	if workers <= 1 {
 		for i, q := range queries {
-			y, err := m.PredictMean(q)
+			y, err := v.PredictMean(q)
 			if err != nil {
 				return nil, err
 			}
@@ -501,7 +508,7 @@ func (m *Model) PredictBatch(queries []Query) ([]float64, error) {
 				if i >= len(queries) {
 					return
 				}
-				y, err := m.PredictMean(queries[i])
+				y, err := v.PredictMean(queries[i])
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -521,56 +528,11 @@ func (m *Model) PredictBatch(queries []Query) ([]float64, error) {
 	return out, nil
 }
 
-// overlapSet returns the indices of prototypes whose data subspaces overlap
-// the query (the neighbourhood W(q) of Eq. 10) together with the
-// corresponding normalized weights δ̃. It scans the flat prototype store —
-// no per-prototype Query construction or cloning — and shares the overlap
-// formula with Query.OverlapDegree. The caller holds (at least) the read
-// lock.
-func (m *Model) overlapSet(q Query) (idx []int, weights []float64) {
-	d := m.cfg.Dim
-	var total float64
-	for k, n := 0, m.store.k(); k < n; k++ {
-		row := m.store.row(k)
-		dist := math.Sqrt(vector.SqDistanceFlat(q.Center, row[:d]))
-		deg := overlapDegree(dist, q.Theta, row[d])
-		if deg > 0 {
-			idx = append(idx, k)
-			weights = append(weights, deg)
-			total += deg
-		}
-	}
-	if total > 0 {
-		for i := range weights {
-			weights[i] /= total
-		}
-	}
-	return idx, weights
-}
-
 // PredictMean answers a Q1 mean-value query (Algorithm 2): the predicted
 // average of the output attribute over D(x, θ), computed purely from the
 // trained LLMs without data access.
 func (m *Model) PredictMean(q Query) (float64, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if len(m.llms) == 0 {
-		return 0, ErrNotTrained
-	}
-	if q.Dim() != m.cfg.Dim {
-		return 0, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), m.cfg.Dim)
-	}
-	idx, weights := m.overlapSet(q)
-	if len(idx) == 0 {
-		// Extrapolate from the closest prototype.
-		w, _ := m.store.winnerQuery(q)
-		return m.llms[w].Eval(q.Center, q.Theta), nil
-	}
-	var yhat float64
-	for i, k := range idx {
-		yhat += weights[i] * m.llms[k].Eval(q.Center, q.Theta)
-	}
-	return yhat, nil
+	return m.View().PredictMean(q)
 }
 
 // Regression answers a Q2 linear-regression query (Algorithm 3): the list S
@@ -579,53 +541,14 @@ func (m *Model) PredictMean(q Query) (float64, error) {
 // when no prototype overlaps, the closest prototype's model is returned by
 // extrapolation (Case 3).
 func (m *Model) Regression(q Query) ([]LocalLinear, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if len(m.llms) == 0 {
-		return nil, ErrNotTrained
-	}
-	if q.Dim() != m.cfg.Dim {
-		return nil, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), m.cfg.Dim)
-	}
-	idx, weights := m.overlapSet(q)
-	if len(idx) == 0 {
-		w, _ := m.store.winnerQuery(q)
-		model := m.llms[w].DataModel()
-		model.Weight = 0
-		return []LocalLinear{model}, nil
-	}
-	out := make([]LocalLinear, 0, len(idx))
-	for i, k := range idx {
-		model := m.llms[k].DataModel()
-		model.Weight = weights[i]
-		out = append(out, model)
-	}
-	return out, nil
+	return m.View().Regression(q)
 }
 
 // PredictValue predicts the data value û ≈ g(x) for a point x inside the
 // subspace addressed by the query q = [x0, θ] (Eq. 14): the overlap-weighted
 // fusion of the neighbouring LLMs evaluated at their own prototype radii.
 func (m *Model) PredictValue(q Query, x []float64) (float64, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if len(m.llms) == 0 {
-		return 0, ErrNotTrained
-	}
-	if q.Dim() != m.cfg.Dim || len(x) != m.cfg.Dim {
-		return 0, fmt.Errorf("%w: query dim %d, point dim %d, model dim %d", ErrDimension, q.Dim(), len(x), m.cfg.Dim)
-	}
-	xv := vector.Vec(x)
-	idx, weights := m.overlapSet(q)
-	if len(idx) == 0 {
-		w, _ := m.store.winnerQuery(q)
-		return m.llms[w].EvalAtPrototypeRadius(xv), nil
-	}
-	var uhat float64
-	for i, k := range idx {
-		uhat += weights[i] * m.llms[k].EvalAtPrototypeRadius(xv)
-	}
-	return uhat, nil
+	return m.View().PredictValue(q, x)
 }
 
 // PredictValueAt is a convenience wrapper for predicting g(x) with the query
@@ -641,18 +564,5 @@ func (m *Model) PredictValueAt(x []float64, theta float64) (float64, error) {
 // Neighborhood exposes the overlap set W(q) for diagnostics: the prototype
 // queries that overlap q and their normalized weights.
 func (m *Model) Neighborhood(q Query) ([]Query, []float64, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if len(m.llms) == 0 {
-		return nil, nil, ErrNotTrained
-	}
-	if q.Dim() != m.cfg.Dim {
-		return nil, nil, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), m.cfg.Dim)
-	}
-	idx, weights := m.overlapSet(q)
-	qs := make([]Query, len(idx))
-	for i, k := range idx {
-		qs[i] = m.llms[k].PrototypeQuery()
-	}
-	return qs, weights, nil
+	return m.View().Neighborhood(q)
 }

@@ -1,0 +1,53 @@
+//go:build !race
+
+// The allocation assertion is meaningless under the race detector, whose
+// instrumentation allocates on the hot path; the -race run still exercises
+// the same code through the other prediction tests.
+
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPredictionHotPathAllocationFree asserts the steady-state prediction
+// path performs no heap allocation: the scratch pool carries the overlap
+// buffers, the winner search assembles its query point in the scratch, and
+// nothing in between escapes. (Regression and Neighborhood allocate their
+// returned slices by contract; PredictMean, PredictValue and Winner return
+// scalars and must stay clean.)
+func TestPredictionHotPathAllocationFree(t *testing.T) {
+	for _, dim := range []int{2, 8} {
+		vig := 0.03
+		if dim > 3 {
+			vig = 0.25
+		}
+		m := buildBenchModel(t, dim, 1000, vig, uniformGen(dim))
+		rng := rand.New(rand.NewSource(55))
+		queries := make([]Query, 64)
+		for i := range queries {
+			queries[i] = randQuery(rng, dim)
+		}
+		x := make([]float64, dim)
+		var i int
+		warm := func() {
+			q := queries[i%len(queries)]
+			i++
+			if _, err := m.PredictMean(q); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := m.Winner(q); err != nil {
+				t.Fatal(err)
+			}
+			copy(x, q.Center)
+			if _, err := m.PredictValue(q, x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		warm() // grow the pooled scratch once
+		if avg := testing.AllocsPerRun(200, warm); avg > 0.05 {
+			t.Errorf("dim %d: prediction hot path allocates %.2f objects/op, want 0", dim, avg)
+		}
+	}
+}

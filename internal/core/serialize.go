@@ -37,28 +37,31 @@ const serializationVersion = 1
 // fails validation.
 var ErrBadModelFile = errors.New("core: invalid model file")
 
-// Save writes the model as JSON. It takes the shared read lock, so a model
-// can be checkpointed while serving queries.
+// Save writes the model as JSON. It serializes one published snapshot —
+// obtained with a single atomic load, no locking — so a model can be
+// checkpointed at a consistent version while serving queries and absorbing
+// a training stream.
 func (m *Model) Save(w io.Writer) error {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	s := m.snap.Load()
 	doc := modelJSON{
 		Version:   serializationVersion,
 		Dim:       m.cfg.Dim,
 		Vigilance: m.cfg.Vigilance,
 		Gamma:     m.cfg.Gamma,
-		Steps:     m.steps,
-		Converged: m.converged,
-		LLMs:      make([]llmJSON, len(m.llms)),
+		Steps:     s.steps,
+		Converged: s.converged,
+		LLMs:      make([]llmJSON, s.k),
 	}
-	for i, l := range m.llms {
+	for i := 0; i < s.k; i++ {
+		row := s.row(i)
+		c := s.coefRow(i)
 		doc.LLMs[i] = llmJSON{
-			Center:     append([]float64(nil), l.CenterPrototype...),
-			Theta:      l.ThetaPrototype,
-			Intercept:  l.Intercept,
-			SlopeX:     append([]float64(nil), l.SlopeX...),
-			SlopeTheta: l.SlopeTheta,
-			Wins:       l.Wins,
+			Center:     append([]float64(nil), row[:s.dim]...),
+			Theta:      row[s.dim],
+			Intercept:  c[0],
+			SlopeX:     append([]float64(nil), c[1:1+s.dim]...),
+			SlopeTheta: c[s.coefW-1],
+			Wins:       s.wins[i],
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -115,6 +118,9 @@ func Load(r io.Reader) (*Model, error) {
 		}
 		m.llms = append(m.llms, l)
 		m.store.add(l.CenterPrototype, l.ThetaPrototype)
+		m.store.syncCoef(i, l)
 	}
+	// Publish the loaded model as its first serving version.
+	m.publishLocked()
 	return m, nil
 }

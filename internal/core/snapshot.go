@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"sync"
+
+	"llmq/internal/vector"
+)
+
+// storeSnapshot is one immutable published version of the model's serving
+// state: the prototype matrix, the LLM coefficient matrix, the win counts,
+// and the shared read epoch with its drift slack and max-θ bound. A snapshot
+// is created by protoStore.publish under the writer lock, installed with one
+// atomic pointer store, and then never mutated — readers that loaded it keep
+// a consistent version for as long as they hold the pointer, while training
+// publishes newer versions alongside it. This is what makes every prediction
+// method lock-free and what allows serving to pin one model version across a
+// whole batch (View).
+type storeSnapshot struct {
+	dim   int // input dimensionality d
+	width int // d+1
+	coefW int // d+2
+	k     int // prototype count
+
+	flat []float64 // k rows × width: [x_k..., θ_k]
+	coef []float64 // k rows × coefW: [y_k, b_Xk..., b_Θk]
+	wins []int
+
+	epoch    *readEpoch // shared immutable index (nil below the size gates)
+	slack    float64    // max prototype displacement vs the epoch's stale rows
+	maxTheta float64    // upper bound on every θ_k (see store.go)
+
+	steps     int
+	converged bool
+	lastGamma float64
+}
+
+// row returns the k-th prototype row [x_k..., θ_k].
+func (s *storeSnapshot) row(k int) []float64 {
+	return s.flat[k*s.width : (k+1)*s.width]
+}
+
+// coefRow returns the k-th coefficient row [y_k, b_Xk..., b_Θk].
+func (s *storeSnapshot) coefRow(k int) []float64 {
+	return s.coef[k*s.coefW : (k+1)*s.coefW]
+}
+
+// eval evaluates f_k(x, θ) (Eq. 5 / Eq. 12) from the flat rows, with the
+// same operation order as LLM.Eval so the two paths are bit-identical.
+func (s *storeSnapshot) eval(k int, center vector.Vec, theta float64) float64 {
+	row := s.row(k)
+	c := s.coefRow(k)
+	v := c[0] + c[s.coefW-1]*(theta-row[s.dim])
+	for i := 0; i < s.dim; i++ {
+		v += c[1+i] * (center[i] - row[i])
+	}
+	return v
+}
+
+// evalAtPrototypeRadius evaluates f_k(x, θ_k) — the LLM restricted to its
+// own radius (Theorem 3), mirroring LLM.EvalAtPrototypeRadius.
+func (s *storeSnapshot) evalAtPrototypeRadius(k int, x vector.Vec) float64 {
+	row := s.row(k)
+	c := s.coefRow(k)
+	v := c[0]
+	for i := 0; i < s.dim; i++ {
+		v += c[1+i] * (x[i] - row[i])
+	}
+	return v
+}
+
+// dataModel converts the k-th LLM into the explicit local linear regression
+// of the data function g over D_k (Theorem 3), mirroring LLM.DataModel.
+func (s *storeSnapshot) dataModel(k int) LocalLinear {
+	row := s.row(k)
+	c := s.coefRow(k)
+	var dot float64
+	for i := 0; i < s.dim; i++ {
+		dot += c[1+i] * row[i]
+	}
+	return LocalLinear{
+		Intercept: c[0] - dot,
+		Slope:     vector.Of(c[1 : 1+s.dim]...),
+		Center:    vector.Of(row[:s.dim]...),
+		Theta:     row[s.dim],
+	}
+}
+
+// protoQuery returns the k-th prototype as a Query value w_k = [x_k, θ_k].
+func (s *storeSnapshot) protoQuery(k int) Query {
+	row := s.row(k)
+	return Query{Center: vector.Of(row[:s.dim]...), Theta: row[s.dim]}
+}
+
+// predictScratch carries the per-call scratch buffers of the prediction hot
+// path: the assembled query-space point, the radius-query candidate list and
+// the overlap set's index/weight result slices. Instances are pooled so a
+// steady-state prediction performs no heap allocation at all; the buffers
+// only grow, and the pool survives snapshot publication, so a training
+// stream does not cool the serving path down.
+type predictScratch struct {
+	qflat   []float64
+	cand    []int
+	mask    []bool
+	idx     []int
+	weights []float64
+}
+
+func (sc *predictScratch) qvec(w int) []float64 {
+	if cap(sc.qflat) < w {
+		sc.qflat = make([]float64, w)
+	}
+	return sc.qflat[:w]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(predictScratch) }}
+
+// winnerQuery returns the snapshot's winner (Eq. 5) for q and the true
+// (root) query-space distance.
+func (s *storeSnapshot) winnerQuery(q Query, sc *predictScratch) (int, float64) {
+	qflat := sc.qvec(s.width)
+	copy(qflat, q.Center)
+	qflat[s.width-1] = q.Theta
+	k, sq := winnerOn(s.epoch, s.flat, s.width, qflat, s.slack)
+	return k, math.Sqrt(sq)
+}
+
+// overlapAccumulate verifies one prototype against q — the single copy of
+// the Eq. (9)/(10) membership-and-weight arithmetic, shared by the linear
+// scan and every radius-query sweep so the paths cannot diverge — and
+// appends it to the running overlap set when its degree is positive.
+func (s *storeSnapshot) overlapAccumulate(q Query, id int, idx []int, weights []float64, total float64) ([]int, []float64, float64) {
+	row := s.row(id)
+	dist := math.Sqrt(vector.SqDistanceFlat(q.Center, row[:s.dim]))
+	deg := overlapDegree(dist, q.Theta, row[s.dim])
+	if deg > 0 {
+		idx = append(idx, id)
+		weights = append(weights, deg)
+		total += deg
+	}
+	return idx, weights, total
+}
+
+// overlapLinear builds the overlap set W(q) (Eq. 10) with one scan over all
+// prototype rows: the exact reference path, used below the index size gates
+// and whenever the radius query cannot prune. The returned slices live in
+// the scratch and are valid until the next use of it.
+func (s *storeSnapshot) overlapLinear(q Query, sc *predictScratch) (idx []int, weights []float64) {
+	idx, weights = sc.idx[:0], sc.weights[:0]
+	var total float64
+	for k := 0; k < s.k; k++ {
+		idx, weights, total = s.overlapAccumulate(q, k, idx, weights, total)
+	}
+	if total > 0 {
+		for i := range weights {
+			weights[i] /= total
+		}
+	}
+	sc.idx, sc.weights = idx, weights
+	return idx, weights
+}
+
+// overlapEps widens the radius-query bound by a relative margin so the
+// float rounding of the bound arithmetic (one hypot and one multiply) can
+// never exclude a prototype exactly on the overlap boundary. Candidates are
+// verified with the same overlapDegree arithmetic as the linear scan, so
+// the widening only ever adds candidates — the resulting set and weights
+// are bit-identical to overlapLinear's.
+const overlapEps = 1e-12
+
+// overlapSet builds W(q) through the epoch's radius query instead of a full
+// scan. The overlap test ‖x − x_k‖ ≤ θ + θ_k becomes a query-space ball
+// once θ_k is bounded by maxTheta: every overlapping prototype lies within
+// R = θ + maxTheta of x, hence within rq = √(R² + max(θ, maxTheta)²) of
+// [x, θ] in the query space, and within rq + slack of its own stale epoch
+// position. The grid enumerates the cells covering that ball; the spine
+// takes the Cauchy–Schwarz projection window |proj − proj(q)| ≤ √w·(rq +
+// slack). Every candidate is then verified on the snapshot's live rows with
+// exactly the linear scan's arithmetic, in ascending prototype order, so
+// indices, weights and their normalization match overlapLinear bit for bit.
+// Rows appended after the epoch build (the tail) are scanned directly.
+func (s *storeSnapshot) overlapSet(q Query, sc *predictScratch) (idx []int, weights []float64) {
+	e := s.epoch
+	if e == nil {
+		return s.overlapLinear(q, sc)
+	}
+	R := q.Theta + s.maxTheta
+	T := q.Theta
+	if s.maxTheta > T {
+		T = s.maxTheta
+	}
+	rq := math.Sqrt(R*R + T*T)
+	rq += rq*overlapEps + s.slack
+	cand := sc.cand[:0]
+	qflat := sc.qvec(s.width)
+	copy(qflat, q.Center)
+	qflat[s.width-1] = q.Theta
+	if e.grid != nil {
+		cand = e.grid.Range(qflat, rq, cand)
+	} else {
+		qproj := projection(qflat)
+		radius := math.Sqrt(float64(e.width)) * rq
+		radius += radius * overlapEps
+		lo := sort.SearchFloat64s(e.proj, qproj-radius)
+		hi := sort.SearchFloat64s(e.proj, qproj+radius)
+		for i := lo; i < hi; i++ {
+			cand = append(cand, e.ids[i])
+		}
+	}
+	sc.cand = cand
+	tail := s.k - e.builtK
+	if len(cand)+tail >= s.k/2 {
+		// The ball covers most of the prototype set (a broad query, or a
+		// workload without locality): the straight scan is cheaper than
+		// gather-and-sort and returns the identical result.
+		return s.overlapLinear(q, sc)
+	}
+	idx, weights = sc.idx[:0], sc.weights[:0]
+	var total float64
+	if len(cand) >= e.builtK/16 {
+		// Too many candidates for a sort to beat a sweep (the spine window
+		// prunes weakly on workloads without projection locality): mark them
+		// in a mask and sweep the built rows in id order — same verification
+		// arithmetic, same accumulation order, a fraction of the cost.
+		if cap(sc.mask) < e.builtK {
+			sc.mask = make([]bool, e.builtK)
+		}
+		mask := sc.mask[:e.builtK]
+		for _, id := range cand {
+			mask[id] = true
+		}
+		for id := 0; id < e.builtK; id++ {
+			if !mask[id] {
+				continue
+			}
+			idx, weights, total = s.overlapAccumulate(q, id, idx, weights, total)
+		}
+		for _, id := range cand {
+			mask[id] = false
+		}
+	} else {
+		slices.Sort(cand)
+		prev := -1
+		for _, id := range cand {
+			if id == prev {
+				continue // duplicate from a colliding grid bucket
+			}
+			prev = id
+			idx, weights, total = s.overlapAccumulate(q, id, idx, weights, total)
+		}
+	}
+	for id := e.builtK; id < s.k; id++ {
+		idx, weights, total = s.overlapAccumulate(q, id, idx, weights, total)
+	}
+	if total > 0 {
+		for i := range weights {
+			weights[i] /= total
+		}
+	}
+	sc.idx, sc.weights = idx, weights
+	return idx, weights
+}
+
+// View is an immutable, lock-free view of the model at one published
+// training version. Obtain one with Model.View; every method answers from
+// that version no matter how much training happens afterwards, so a batch
+// of predictions pinned to one View is mutually consistent — the
+// zero-downtime model-swap primitive: serve traffic from a pinned View,
+// retrain or Load in the background, and re-pin when ready. The zero value
+// is not valid; Views are cheap (one pointer) and safe for concurrent use.
+type View struct {
+	s *storeSnapshot
+}
+
+// K returns the number of prototypes/LLMs in this version.
+func (v View) K() int { return v.s.k }
+
+// Steps returns how many training pairs this version had consumed.
+func (v View) Steps() int { return v.s.steps }
+
+// Converged reports whether the termination criterion had fired.
+func (v View) Converged() bool { return v.s.converged }
+
+// LastGamma returns the version's most recent termination criterion Γ.
+func (v View) LastGamma() float64 { return v.s.lastGamma }
+
+func (v View) checkQuery(q Query) error {
+	if v.s.k == 0 {
+		return ErrNotTrained
+	}
+	if q.Dim() != v.s.dim {
+		return fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), v.s.dim)
+	}
+	return nil
+}
+
+// Winner returns the index of the prototype closest to q in the query space
+// (the winner of Eq. 5) and the query-space distance to it.
+func (v View) Winner(q Query) (int, float64, error) {
+	if err := v.checkQuery(q); err != nil {
+		return 0, 0, err
+	}
+	sc := scratchPool.Get().(*predictScratch)
+	defer scratchPool.Put(sc)
+	k, dist := v.s.winnerQuery(q, sc)
+	return k, dist, nil
+}
+
+// PredictMean answers a Q1 mean-value query (Algorithm 2): the predicted
+// average of the output attribute over D(x, θ), computed purely from the
+// trained LLMs without data access.
+func (v View) PredictMean(q Query) (float64, error) {
+	if err := v.checkQuery(q); err != nil {
+		return 0, err
+	}
+	s := v.s
+	sc := scratchPool.Get().(*predictScratch)
+	defer scratchPool.Put(sc)
+	idx, weights := s.overlapSet(q, sc)
+	if len(idx) == 0 {
+		// Extrapolate from the closest prototype.
+		w, _ := s.winnerQuery(q, sc)
+		return s.eval(w, q.Center, q.Theta), nil
+	}
+	var yhat float64
+	for i, k := range idx {
+		yhat += weights[i] * s.eval(k, q.Center, q.Theta)
+	}
+	return yhat, nil
+}
+
+// Regression answers a Q2 linear-regression query (Algorithm 3): the list S
+// of local linear models that approximate the data function g over D(x, θ).
+// Overlapping prototypes contribute one model each; when no prototype
+// overlaps, the closest prototype's model is returned by extrapolation
+// (Case 3).
+func (v View) Regression(q Query) ([]LocalLinear, error) {
+	if err := v.checkQuery(q); err != nil {
+		return nil, err
+	}
+	s := v.s
+	sc := scratchPool.Get().(*predictScratch)
+	defer scratchPool.Put(sc)
+	idx, weights := s.overlapSet(q, sc)
+	if len(idx) == 0 {
+		w, _ := s.winnerQuery(q, sc)
+		model := s.dataModel(w)
+		model.Weight = 0
+		return []LocalLinear{model}, nil
+	}
+	out := make([]LocalLinear, 0, len(idx))
+	for i, k := range idx {
+		model := s.dataModel(k)
+		model.Weight = weights[i]
+		out = append(out, model)
+	}
+	return out, nil
+}
+
+// PredictValue predicts the data value û ≈ g(x) for a point x inside the
+// subspace addressed by the query q = [x0, θ] (Eq. 14): the overlap-weighted
+// fusion of the neighbouring LLMs evaluated at their own prototype radii.
+func (v View) PredictValue(q Query, x []float64) (float64, error) {
+	if v.s.k == 0 {
+		return 0, ErrNotTrained
+	}
+	if q.Dim() != v.s.dim || len(x) != v.s.dim {
+		return 0, fmt.Errorf("%w: query dim %d, point dim %d, model dim %d", ErrDimension, q.Dim(), len(x), v.s.dim)
+	}
+	s := v.s
+	sc := scratchPool.Get().(*predictScratch)
+	defer scratchPool.Put(sc)
+	xv := vector.Vec(x)
+	idx, weights := s.overlapSet(q, sc)
+	if len(idx) == 0 {
+		w, _ := s.winnerQuery(q, sc)
+		return s.evalAtPrototypeRadius(w, xv), nil
+	}
+	var uhat float64
+	for i, k := range idx {
+		uhat += weights[i] * s.evalAtPrototypeRadius(k, xv)
+	}
+	return uhat, nil
+}
+
+// Neighborhood exposes the overlap set W(q) for diagnostics: the prototype
+// queries that overlap q and their normalized weights.
+func (v View) Neighborhood(q Query) ([]Query, []float64, error) {
+	if err := v.checkQuery(q); err != nil {
+		return nil, nil, err
+	}
+	s := v.s
+	sc := scratchPool.Get().(*predictScratch)
+	defer scratchPool.Put(sc)
+	idx, weights := s.overlapSet(q, sc)
+	qs := make([]Query, len(idx))
+	for i, k := range idx {
+		qs[i] = s.protoQuery(k)
+	}
+	return qs, append([]float64(nil), weights...), nil
+}

@@ -8,56 +8,95 @@ import (
 	"llmq/internal/vector"
 )
 
-// protoStore is the cache-friendly read path of the model: every prototype
+// protoStore is the writer-side serving state of the model: every prototype
 // w_k = [x_k, θ_k] is packed into one contiguous row-major matrix of K rows ×
-// (d+1) columns, so the winner search of Eq. (5) scans flat memory with the
-// unrolled squared-distance kernel instead of chasing K heap pointers and
-// taking K square roots. For low-dimensional query spaces the store also
-// maintains an incremental uniform grid over the prototypes (cell size = the
-// vigilance ρ, the minimum spawn distance), which drops the winner search
-// below O(K) once the prototype set is large.
+// (d+1) columns, with a parallel coefficient matrix of K rows × (d+2) columns
+// mirroring each LLM's [y_k, b_{X,k}, b_{Θ,k}] — everything a prediction
+// needs, in flat memory, without chasing the per-LLM training objects.
 //
 // The store mirrors the authoritative per-LLM parameters: Observe updates
 // the LLM (training math needs its solver state) and then syncs the moved
-// prototype row here. All methods assume the caller holds the model lock.
+// prototype row and coefficient row here. All methods assume the caller
+// holds the model's writer lock; readers never touch the store — they read
+// immutable storeSnapshot values published from it (see snapshot.go).
+//
+// # The read epoch
+//
+// Sub-O(K) searches (the winner of Eq. 5 and the overlap set W(q) of Eq. 10)
+// run against a readEpoch: an immutable index over a stale copy of the
+// prototype rows, rebuilt periodically on the write path and shared by
+// pointer between the store and every snapshot published since the rebuild.
+// Width ≤ 4 query spaces get a uniform grid (cell side 2ρ — prototypes are
+// at least ρ apart, so cells hold only a handful and ring expansion stops
+// after one or two rings); wider spaces get the projection spine (rows
+// sorted by their component sum; by Cauchy–Schwarz
+// |sum(a) − sum(b)| ≤ √w·‖a−b‖₂, so a sorted-array window bounds every
+// candidate set).
+//
+// Between rebuilds the epoch is stale: prototypes drift and new ones are
+// appended. Staleness never breaks exactness. Appended rows live in the
+// contiguous tail of the live matrix and are scanned separately, and every
+// pruning bound is widened by the worst per-prototype displacement since the
+// epoch was built (maxDrift): a row's live distance is at least its stale
+// distance minus its drift, so a row pruned under the widened bound cannot
+// have won, and surviving candidates are verified against the live rows.
+// Rebuilds happen on the write path once the tail or the drift grows past
+// its threshold, amortizing to O(log K) per step. Because an epoch is never
+// mutated after it is built, snapshots can share it without copying — only
+// the flat matrices are copied at publication.
+//
+// # The max-θ invariant
+//
+// maxTheta is an upper bound on every stored prototype radius θ_k,
+// maintained incrementally: add and update max it with the incoming θ, so it
+// is monotone between rebuilds (a θ that drifts back down can leave it
+// loose, which costs search radius but never exactness), and each epoch
+// rebuild recomputes it exactly. It turns the overlap test
+// ‖x − x_k‖ ≤ θ + θ_k into a radius query: every overlapping prototype lies
+// within θ + maxTheta of the query centre, hence within
+// √((θ+maxTheta)² + max(θ, maxTheta)²) of [x, θ] in the query space.
 type protoStore struct {
-	width int       // d+1: [x..., θ]
-	flat  []float64 // K rows × width, row-major
-	grid  *index.DynamicGrid
+	width     int       // d+1: [x..., θ]
+	coefW     int       // d+2: [y, b_X..., b_Θ]
+	flat      []float64 // K rows × width, row-major, live
+	coef      []float64 // K rows × coefW, row-major, live
+	wins      []int     // per-prototype absorbed-pair counts, live
+	vigilance float64   // rebuild threshold scale (the prototype spacing)
 
-	// The projection spine accelerates the flat path in query spaces too
-	// wide for the grid: prototypes are kept sorted by their projection onto
-	// the diagonal (the component sum), with the rows themselves copied into
-	// spineFlat in that order so a winner search scans one contiguous window
-	// around the query's projection. By Cauchy–Schwarz the projections of
-	// two points differ by at most √w times their L2 distance, so once the
-	// projection gap to the running best exceeds √w·bestDist the remaining
-	// rows on that side cannot win and the scan stops — typically after a
-	// fraction of K.
-	//
-	// Between rebuilds the spine is stale: prototypes drift and new ones are
-	// appended. Staleness never breaks exactness. Appended rows live in the
-	// contiguous tail of flat and are scanned separately, and every pruning
-	// bound is widened by the worst per-prototype displacement since the
-	// last build (maxDrift): a row's live distance is at least its stale
-	// distance minus its drift, so a row pruned under the widened bound
-	// cannot have won, and surviving candidates are verified against the
-	// live rows. Rebuilds happen on the write path once the tail or the
-	// drift grows past its threshold, amortizing to O(log K) per step.
-	spineProj   []float64 // sorted stale projections, built rows only
-	spineIDs    []int     // prototype ids, parallel to spineProj
-	spineFlat   []float64 // stale row copies in spineProj order
-	spineBuiltK int       // prototype count at the last rebuild
-	drift       []float64 // per-built-row displacement since the last rebuild
-	maxDrift    float64   // max over drift
-	vigilance   float64   // rebuild threshold scale (the prototype spacing)
+	epoch    *readEpoch // immutable, shared with published snapshots
+	drift    []float64  // per-built-row displacement since the epoch build
+	maxDrift float64    // max over drift
+	maxTheta float64    // monotone upper bound on θ_k, tightened per rebuild
+
+	qbuf []float64 // winnerQuery scratch (single writer)
+}
+
+// readEpoch is one immutable generation of the search index: either a
+// uniform grid or a projection spine over a stale copy of the first builtK
+// prototype rows. It is built on the write path and never mutated, so the
+// store and any number of published snapshots reference it concurrently
+// without synchronization; each referencer pairs it with its own live row
+// matrix and its own drift slack.
+type readEpoch struct {
+	builtK int
+	width  int
+
+	// grid indexes the stale rows for width ≤ storeGridMaxWidth.
+	grid *index.DynamicGrid
+
+	// The projection spine (wider spaces): stale projections sorted
+	// ascending, the prototype ids in that order, and the stale rows
+	// themselves copied contiguously in that order.
+	proj []float64
+	ids  []int
+	flat []float64
 }
 
 const (
 	// storeGridMaxWidth bounds the query-space dimensionality (d+1) for
 	// which the ring-expanding grid search is profitable; above it the ring
-	// enumeration outgrows the flat scan and the store falls back to the
-	// unrolled linear kernel.
+	// enumeration outgrows the flat scan and the store uses the projection
+	// spine instead.
 	storeGridMaxWidth = 4
 	// storeGridMinK is the prototype count below which the flat scan beats
 	// the grid's hashing overhead.
@@ -68,19 +107,7 @@ const (
 )
 
 func newProtoStore(dim int, vigilance float64) *protoStore {
-	s := &protoStore{width: dim + 1, vigilance: vigilance}
-	if s.width <= storeGridMaxWidth {
-		// Cell side = 2ρ: prototypes are at least ρ apart, so a cell holds
-		// only a handful of them and the winner is almost always found in
-		// ring 0 or 1 — few bucket lookups, each verifying a few candidates
-		// with the flat kernel. The constructor only rejects non-positive /
-		// non-finite cell sizes, which Config validation has already
-		// excluded.
-		if g, err := index.NewDynamicGrid(s.width, 2*vigilance); err == nil {
-			s.grid = g
-		}
-	}
-	return s
+	return &protoStore{width: dim + 1, coefW: dim + 2, vigilance: vigilance}
 }
 
 // k returns the number of stored prototypes.
@@ -91,25 +118,34 @@ func (s *protoStore) row(k int) []float64 {
 	return s.flat[k*s.width : (k+1)*s.width]
 }
 
-// add appends a prototype row and mirrors it into the grid. The new row
-// joins the spine's tail until the next rebuild.
+// minEpochK is the prototype count below which no epoch is built and every
+// search falls back to the flat scan.
+func (s *protoStore) minEpochK() int {
+	if s.width <= storeGridMaxWidth {
+		return storeGridMinK
+	}
+	return storeSpineMinK
+}
+
+// add appends a prototype row (with a zeroed coefficient row — the caller
+// syncs the LLM's coefficients right after). The new row joins the epoch's
+// tail until the next rebuild.
 func (s *protoStore) add(center vector.Vec, theta float64) {
 	s.flat = append(s.flat, center...)
 	s.flat = append(s.flat, theta)
-	if s.grid != nil {
-		// Insert cannot fail: the row width matches the grid dimension by
-		// construction.
-		_, _ = s.grid.Insert(s.row(s.k() - 1))
-	} else {
-		s.maybeRebuildSpine()
+	s.coef = append(s.coef, make([]float64, s.coefW)...)
+	s.wins = append(s.wins, 0)
+	if theta > s.maxTheta {
+		s.maxTheta = theta
 	}
+	s.maybeRebuildEpoch()
 }
 
-// update syncs the k-th row after a prototype drift step, accounting the
-// displacement against the spine's staleness budget.
+// update syncs the k-th prototype row after a drift step, accounting the
+// displacement against the epoch's staleness budget.
 func (s *protoStore) update(k int, center vector.Vec, theta float64) {
 	row := s.row(k)
-	if s.grid == nil && k < s.spineBuiltK {
+	if s.epoch != nil && k < s.epoch.builtK {
 		move := math.Sqrt(vector.SqDistanceFlat(row[:s.width-1], center) +
 			(row[s.width-1]-theta)*(row[s.width-1]-theta))
 		s.drift[k] += move
@@ -119,24 +155,37 @@ func (s *protoStore) update(k int, center vector.Vec, theta float64) {
 	}
 	copy(row, center)
 	row[s.width-1] = theta
-	if s.grid != nil {
-		_ = s.grid.Update(k, row)
-	} else {
-		s.maybeRebuildSpine()
+	if theta > s.maxTheta {
+		s.maxTheta = theta
 	}
+	s.maybeRebuildEpoch()
 }
 
-// maybeRebuildSpine rebuilds once the un-indexed tail reaches an eighth of
+// syncCoef mirrors the LLM's current coefficients and win count into the
+// k-th rows of the flat serving matrices.
+func (s *protoStore) syncCoef(k int, l *LLM) {
+	row := s.coef[k*s.coefW : (k+1)*s.coefW]
+	row[0] = l.Intercept
+	copy(row[1:1+len(l.SlopeX)], l.SlopeX)
+	row[s.coefW-1] = l.SlopeTheta
+	s.wins[k] = l.Wins
+}
+
+// maybeRebuildEpoch rebuilds once the un-indexed tail reaches an eighth of
 // the prototype set or the accumulated drift becomes comparable to the
-// prototype spacing. Called on the write path only, so readers always see a
-// consistent (if slightly stale) spine.
-func (s *protoStore) maybeRebuildSpine() {
+// prototype spacing. Called on the write path only; a rebuild installs a
+// fresh immutable epoch and leaves every previously published one untouched.
+func (s *protoStore) maybeRebuildEpoch() {
 	k := s.k()
-	if k < storeSpineMinK {
+	if k < s.minEpochK() {
 		return
 	}
-	if (k-s.spineBuiltK)*8 >= k || s.maxDrift > s.vigilance/4 {
-		s.rebuildSpine()
+	built := 0
+	if s.epoch != nil {
+		built = s.epoch.builtK
+	}
+	if (k-built)*8 >= k || s.maxDrift > s.vigilance/4 {
+		s.rebuildEpoch()
 	}
 }
 
@@ -152,66 +201,90 @@ func projection(row []float64) float64 {
 	return s
 }
 
-// rebuildSpine re-sorts all prototypes by their current projection and
-// snapshots their rows in that order.
-func (s *protoStore) rebuildSpine() {
+// rebuildEpoch snapshots all current prototype rows into a fresh immutable
+// index (grid or spine by width), resets the drift budget, and re-tightens
+// the max-θ bound exactly.
+func (s *protoStore) rebuildEpoch() {
 	k := s.k()
 	w := s.width
-	if cap(s.spineProj) < k {
-		s.spineProj = make([]float64, 0, 2*k)
-		s.spineIDs = make([]int, 0, 2*k)
-		s.spineFlat = make([]float64, 0, 2*k*w)
-		s.drift = make([]float64, 0, 2*k)
+	e := &readEpoch{builtK: k, width: w}
+	if w <= storeGridMaxWidth {
+		// Constructor and Insert cannot fail: the width is positive, the
+		// cell size was validated with the config, and every row matches the
+		// grid dimension by construction.
+		g, err := index.NewDynamicGrid(w, 2*s.vigilance)
+		if err != nil {
+			return
+		}
+		for i := 0; i < k; i++ {
+			_, _ = g.Insert(s.row(i))
+		}
+		e.grid = g
+	} else {
+		e.proj = make([]float64, k)
+		e.ids = make([]int, k)
+		e.flat = make([]float64, k*w)
+		proj := make([]float64, k)
+		for i := 0; i < k; i++ {
+			e.ids[i] = i
+			proj[i] = projection(s.row(i))
+		}
+		sort.Slice(e.ids, func(a, b int) bool { return proj[e.ids[a]] < proj[e.ids[b]] })
+		for i, id := range e.ids {
+			e.proj[i] = proj[id]
+			copy(e.flat[i*w:(i+1)*w], s.row(id))
+		}
 	}
-	s.spineProj = s.spineProj[:k]
-	s.spineIDs = s.spineIDs[:k]
-	s.spineFlat = s.spineFlat[:k*w]
+	s.epoch = e
+	if cap(s.drift) < k {
+		s.drift = make([]float64, k, 2*k)
+	}
 	s.drift = s.drift[:k]
-	proj := make([]float64, k)
-	for i := 0; i < k; i++ {
-		s.spineIDs[i] = i
-		proj[i] = projection(s.row(i))
+	for i := range s.drift {
 		s.drift[i] = 0
 	}
-	sort.Slice(s.spineIDs, func(a, b int) bool { return proj[s.spineIDs[a]] < proj[s.spineIDs[b]] })
-	for i, id := range s.spineIDs {
-		s.spineProj[i] = proj[id]
-		copy(s.spineFlat[i*w:(i+1)*w], s.row(id))
-	}
-	s.spineBuiltK = k
 	s.maxDrift = 0
+	mt := 0.0
+	for i := 0; i < k; i++ {
+		if t := s.flat[i*w+w-1]; t > mt {
+			mt = t
+		}
+	}
+	s.maxTheta = mt
 }
 
 // storeSpineProbe is how many spine rows around the query's projection are
 // verified up front to seed the window cutoff.
 const storeSpineProbe = 16
 
-// winnerSpine finds the exact winner through the projection spine in three
-// steps. (1) Seed: the rows appended since the last rebuild (the contiguous
-// tail of flat) are scanned exactly, and the storeSpineProbe spine rows
-// whose projections bracket the query's are verified — projection proximity
-// correlates with spatial proximity, so the seed distance is near-optimal.
-// (2) Window: any row that could still beat the seed must have live
-// distance ≤ seedDist, hence stale distance ≤ C := seedDist + maxDrift, and
-// by Cauchy–Schwarz a stale projection within √w·C of the query's — one
-// sorted-array search on each side bounds the candidate range. (3) Verify:
-// the window's stale rows are scanned contiguously with the C² cutoff
-// kernel, and the few survivors are checked against their live rows. Every
-// bound carries the maxDrift slack, so prototype drift between rebuilds can
-// widen the window but never hide the true winner.
-func (s *protoStore) winnerSpine(qflat []float64) (int, float64) {
-	w := s.width
-	built := s.spineBuiltK
-	slack := s.maxDrift
+// winnerSpineOn finds the exact winner through a projection-spine epoch in
+// three steps. (1) Seed: the rows appended since the epoch build (the
+// contiguous tail of the live matrix) are scanned exactly, and the
+// storeSpineProbe spine rows whose projections bracket the query's are
+// verified — projection proximity correlates with spatial proximity, so the
+// seed distance is near-optimal. (2) Window: any row that could still beat
+// the seed must have live distance ≤ seedDist, hence stale distance ≤
+// C := seedDist + slack, and by Cauchy–Schwarz a stale projection within
+// √w·C of the query's — one sorted-array search on each side bounds the
+// candidate range. (3) Verify: the window's stale rows are scanned
+// contiguously with the C² cutoff kernel, and the few survivors are checked
+// against their live rows. Every bound carries the slack, so prototype
+// drift since the epoch build can widen the window but never hide the true
+// winner. flat is the referencer's live row matrix (the store's for the
+// writer, the snapshot's copy for a reader); slack is its drift budget
+// relative to the epoch.
+func winnerSpineOn(e *readEpoch, flat []float64, qflat []float64, slack float64) (int, float64) {
+	w := e.width
+	built := e.builtK
 	best, bestSq := -1, math.Inf(1)
-	if tail := s.flat[built*w:]; len(tail) > 0 {
+	if tail := flat[built*w:]; len(tail) > 0 {
 		ti, tsq := vector.ArgminSqDistance(tail, w, qflat)
 		if ti >= 0 {
 			best, bestSq = built+ti, tsq
 		}
 	}
 	qproj := projection(qflat)
-	pos := sort.SearchFloat64s(s.spineProj[:built], qproj)
+	pos := sort.SearchFloat64s(e.proj, qproj)
 	plo, phi := pos-storeSpineProbe, pos+storeSpineProbe
 	if plo < 0 {
 		plo = 0
@@ -225,17 +298,17 @@ func (s *protoStore) winnerSpine(qflat []float64) (int, float64) {
 	// it.
 	staleSeedSq, probeBest := math.Inf(1), -1
 	for i := plo; i < phi; i++ {
-		if sq := vector.SqDistanceFlat(s.spineFlat[i*w:(i+1)*w], qflat); sq < staleSeedSq {
+		if sq := vector.SqDistanceFlat(e.flat[i*w:(i+1)*w], qflat); sq < staleSeedSq {
 			staleSeedSq, probeBest = sq, i
 		}
 	}
 	if probeBest >= 0 {
-		id := s.spineIDs[probeBest]
+		id := e.ids[probeBest]
 		if slack == 0 {
 			if staleSeedSq < bestSq {
 				best, bestSq = id, staleSeedSq
 			}
-		} else if sq := vector.SqDistanceFlat(s.row(id), qflat); sq < bestSq {
+		} else if sq := vector.SqDistanceFlat(flat[id*w:(id+1)*w], qflat); sq < bestSq {
 			best, bestSq = id, sq
 		}
 	}
@@ -244,8 +317,8 @@ func (s *protoStore) winnerSpine(qflat []float64) (int, float64) {
 	cutoff := math.Sqrt(bestSq) + slack
 	cutoffSq := cutoff * cutoff
 	radius := math.Sqrt(float64(w)) * cutoff
-	lo := sort.SearchFloat64s(s.spineProj[:built], qproj-radius)
-	hi := sort.SearchFloat64s(s.spineProj[:built], qproj+radius)
+	lo := sort.SearchFloat64s(e.proj, qproj-radius)
+	hi := sort.SearchFloat64s(e.proj, qproj+radius)
 	if hi-lo >= built/2 {
 		// The window prunes too little to beat a straight scan — the
 		// workload has no projection locality here (e.g. near-uniform
@@ -253,16 +326,16 @@ func (s *protoStore) winnerSpine(qflat []float64) (int, float64) {
 		// concentrate). The probes still pay for themselves: they seed the
 		// flat scan's partial-distance cutoff.
 		if best >= 0 {
-			return vector.ArgminSqDistanceSeeded(s.flat, w, qflat, best, bestSq)
+			return vector.ArgminSqDistanceSeeded(flat, w, qflat, best, bestSq)
 		}
-		return vector.ArgminSqDistance(s.flat, w, qflat)
+		return vector.ArgminSqDistance(flat, w, qflat)
 	}
 	for i := lo; i < hi; i++ {
-		staleSq, within := vector.SqDistanceWithin(s.spineFlat[i*w:(i+1)*w], qflat, cutoffSq)
+		staleSq, within := vector.SqDistanceWithin(e.flat[i*w:(i+1)*w], qflat, cutoffSq)
 		if !within {
 			continue
 		}
-		id := s.spineIDs[i]
+		id := e.ids[i]
 		if slack == 0 {
 			// No prototype has moved since the rebuild: the stale row is
 			// the live row.
@@ -271,38 +344,84 @@ func (s *protoStore) winnerSpine(qflat []float64) (int, float64) {
 			}
 			continue
 		}
-		if sq := vector.SqDistanceFlat(s.row(id), qflat); sq < bestSq {
+		if sq := vector.SqDistanceFlat(flat[id*w:(id+1)*w], qflat); sq < bestSq {
 			best, bestSq = id, sq
 		}
 	}
 	return best, bestSq
 }
 
-// winner returns the index of the prototype closest to the query-space point
-// qflat = [x..., θ] and the squared L2 distance to it, using the grid when
-// the prototype set is large enough for it to pay off. All paths verify
+// winnerOn returns the index of the prototype closest to the query-space
+// point qflat = [x..., θ] among the live rows of flat, and the squared L2
+// distance to it, using the epoch's index when one exists. All paths verify
 // candidates with the same unrolled kernel and return a true minimum: the
 // grid and flat scans break ties toward the lowest index, while the spine
 // keeps its seed on exact ties, so under ties the paths can return different
 // (equidistant) winners — the distance, and hence the vigilance test, is
 // identical either way.
+func winnerOn(e *readEpoch, flat []float64, width int, qflat []float64, slack float64) (int, float64) {
+	if e == nil {
+		return vector.ArgminSqDistance(flat, width, qflat)
+	}
+	if e.grid != nil {
+		built := e.builtK
+		best, bestSq := -1, math.Inf(1)
+		if tail := flat[built*width:]; len(tail) > 0 {
+			if ti, tsq := vector.ArgminSqDistance(tail, width, qflat); ti >= 0 {
+				best, bestSq = built+ti, tsq
+			}
+		}
+		return e.grid.NearestStale(qflat, slack, flat, best, bestSq)
+	}
+	return winnerSpineOn(e, flat, qflat, slack)
+}
+
+// winner returns the winner over the store's live rows.
 func (s *protoStore) winner(qflat []float64) (int, float64) {
-	if s.grid != nil && s.k() >= storeGridMinK {
-		return s.grid.Nearest(qflat)
-	}
-	if s.spineBuiltK > 0 {
-		return s.winnerSpine(qflat)
-	}
-	return vector.ArgminSqDistance(s.flat, s.width, qflat)
+	return winnerOn(s.epoch, s.flat, s.width, qflat, s.maxDrift)
 }
 
 // winnerQuery is the Query-typed entry point: it assembles the query-space
-// point on the stack and returns the winner index plus the true (root)
-// distance used by the vigilance test.
+// point in the store's scratch row (single writer — no races) and returns
+// the winner index plus the true (root) distance used by the vigilance test.
 func (s *protoStore) winnerQuery(q Query) (int, float64) {
-	qflat := make([]float64, s.width)
+	if cap(s.qbuf) < s.width {
+		s.qbuf = make([]float64, s.width)
+	}
+	qflat := s.qbuf[:s.width]
 	copy(qflat, q.Center)
 	qflat[s.width-1] = q.Theta
 	k, sq := s.winner(qflat)
 	return k, math.Sqrt(sq)
+}
+
+// publish builds an immutable snapshot of the serving state: the live flat
+// matrices are copied (one contiguous allocation), the current epoch is
+// shared by pointer, and the drift/max-θ budgets are captured as scalars.
+// The returned snapshot never changes, so readers use it without any
+// synchronization beyond the atomic pointer load that handed it out.
+func (s *protoStore) publish(dim, steps int, converged bool, lastGamma float64) *storeSnapshot {
+	k := s.k()
+	buf := make([]float64, k*(s.width+s.coefW))
+	flat := buf[:k*s.width]
+	coef := buf[k*s.width:]
+	copy(flat, s.flat)
+	copy(coef, s.coef)
+	wins := make([]int, k)
+	copy(wins, s.wins)
+	return &storeSnapshot{
+		dim:       dim,
+		width:     s.width,
+		coefW:     s.coefW,
+		k:         k,
+		flat:      flat,
+		coef:      coef,
+		wins:      wins,
+		epoch:     s.epoch,
+		slack:     s.maxDrift,
+		maxTheta:  s.maxTheta,
+		steps:     steps,
+		converged: converged,
+		lastGamma: lastGamma,
+	}
 }

@@ -424,7 +424,7 @@ func AblationLearning(s Scale) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := m.Train(pairs)
+		res, err := m.TrainBatch(pairs)
 		if err != nil {
 			return nil, err
 		}

@@ -165,7 +165,8 @@ func gridCoordBuf(buf *[8]int, dim int) []int {
 // Nearest returns the id of the point closest to q under the L2 norm and
 // the squared distance to it. Ties are broken toward the lowest id, matching
 // a first-strictly-smaller linear scan over insertion order. It returns
-// (-1, 0) when the grid is empty.
+// (-1, 0) when the grid is empty. It is NearestStale with no staleness: the
+// stored rows are the live rows, no slack, no seed.
 //
 // The ring expansion carries a visited-cell budget proportional to the point
 // count: when the cell size is badly matched to the point spacing (cells far
@@ -174,17 +175,46 @@ func gridCoordBuf(buf *[8]int, dim int) []int {
 // scan instead. The result is identical either way; the budget only bounds
 // the worst case at O(n) like the scan it falls back to.
 func (g *DynamicGrid) Nearest(q []float64) (int, float64) {
+	return g.NearestStale(q, 0, nil, -1, 0)
+}
+
+// NearestStale returns the exact nearest point over the live rows when the
+// grid's stored positions are a stale snapshot of them. live is the current
+// row-major point matrix, indexed by the same dense ids as the grid (it may
+// hold more rows than the grid — the extra tail is simply not searched here);
+// slack is an upper bound on how far any point has moved from its stored
+// position. The grid prunes by stale geometry widened by slack — a point's
+// live distance is at least its stale distance minus slack, so a candidate
+// discarded under the widened bound cannot win — and every surviving
+// candidate is verified against its live row. When slack is 0 the stored
+// rows are bit-identical to the live ones and the verification gather is
+// skipped. An optional seed (id seed at squared live distance seedSq, or
+// seed < 0 for none) initializes the running best; the caller typically
+// seeds with the argmin of rows the grid does not index.
+//
+// Like Nearest, the ring expansion carries a visited-cell budget and falls
+// back to one exact scan over the live rows (including any tail beyond the
+// grid's ids) when the cell size is pathologically mismatched.
+func (g *DynamicGrid) NearestStale(q []float64, slack float64, live []float64, seed int, seedSq float64) (int, float64) {
 	if len(q) != g.dim {
-		panic(fmt.Sprintf("index: Nearest query dim %d, index dim %d", len(q), g.dim))
+		panic(fmt.Sprintf("index: NearestStale query dim %d, index dim %d", len(q), g.dim))
+	}
+	if live == nil {
+		live = g.flat
+	}
+	best, bestSq := seed, seedSq
+	if seed < 0 {
+		best, bestSq = -1, math.Inf(1)
 	}
 	if len(g.keys) == 0 {
-		return -1, 0
+		if best < 0 {
+			return -1, 0
+		}
+		return best, bestSq
 	}
 	var bufQC, bufLo, bufHi, bufC [8]int
 	qc := gridCoordBuf(&bufQC, g.dim)
 	g.coordOf(q, qc)
-	// The farthest occupied ring from the query cell, after which expansion
-	// cannot find any point.
 	maxRing := 0
 	for j := 0; j < g.dim; j++ {
 		if d := qc[j] - g.lo[j]; d > maxRing {
@@ -194,83 +224,171 @@ func (g *DynamicGrid) Nearest(q []float64) (int, float64) {
 			maxRing = d
 		}
 	}
-	best, bestSq := -1, math.Inf(1)
 	loR := gridCoordBuf(&bufLo, g.dim)
 	hiR := gridCoordBuf(&bufHi, g.dim)
 	coord := gridCoordBuf(&bufC, g.dim)
 	budget := 2*len(g.keys) + 64
+	// cutoffSq is the stale-distance bound a candidate must beat to possibly
+	// win: (bestDist + slack)². It shrinks whenever the best improves.
+	bestDist := math.Sqrt(bestSq)
+	cutoffSq := (bestDist + slack) * (bestDist + slack)
 	for r := 0; r <= maxRing; r++ {
-		// Every point in a cell at Chebyshev ring r is at least
-		// (r-1)·cellSize away from the query (the query sits somewhere inside
-		// its own cell), so once a candidate beats that bound the search is
-		// exact and can stop.
 		if best >= 0 && r >= 1 {
-			lb := float64(r-1) * g.cellSize
-			if lb*lb > bestSq {
+			// Every stale position in ring r is at least (r-1)·cellSize away,
+			// so its live position is at least that minus slack.
+			if lb := float64(r-1)*g.cellSize - slack; lb > 0 && lb*lb > bestSq {
 				break
 			}
 		}
-		if !g.scanRing(qc, r, loR, hiR, coord, q, &best, &bestSq, &budget) {
-			return vector.ArgminSqDistance(g.flat, g.dim, q)
+		for j := 0; j < g.dim; j++ {
+			loR[j] = qc[j] - r
+			if loR[j] < g.lo[j] {
+				loR[j] = g.lo[j]
+			}
+			hiR[j] = qc[j] + r
+			if hiR[j] > g.hi[j] {
+				hiR[j] = g.hi[j]
+			}
+			if loR[j] > hiR[j] {
+				goto nextRing
+			}
 		}
+		copy(coord, loR)
+		for {
+			cheb := 0
+			for j := 0; j < g.dim; j++ {
+				d := coord[j] - qc[j]
+				if d < 0 {
+					d = -d
+				}
+				if d > cheb {
+					cheb = d
+				}
+			}
+			if cheb == r {
+				budget--
+				if budget < 0 {
+					if best >= 0 {
+						return vector.ArgminSqDistanceSeeded(live, g.dim, q, best, bestSq)
+					}
+					return vector.ArgminSqDistance(live, g.dim, q)
+				}
+				for _, id := range g.cells[coordHash(coord)] {
+					staleSq, within := vector.SqDistanceWithin(g.flat[id*g.dim:(id+1)*g.dim], q, cutoffSq)
+					if !within {
+						continue
+					}
+					sq := staleSq
+					if slack != 0 {
+						sq = vector.SqDistanceFlat(live[id*g.dim:(id+1)*g.dim], q)
+					}
+					if sq < bestSq || (sq == bestSq && id < best) {
+						best, bestSq = id, sq
+						bestDist = math.Sqrt(bestSq)
+						cutoffSq = (bestDist + slack) * (bestDist + slack)
+					}
+				}
+			}
+			j := 0
+			for ; j < g.dim; j++ {
+				coord[j]++
+				if coord[j] <= hiR[j] {
+					break
+				}
+				coord[j] = loR[j]
+			}
+			if j == g.dim {
+				break
+			}
+		}
+	nextRing:
+		continue
 	}
 	return best, bestSq
 }
 
-// scanRing verifies every point in cells at Chebyshev distance exactly r
-// from the query cell, clamped to the occupied bounding box. It decrements
-// budget per visited cell and reports false when the budget is exhausted.
-func (g *DynamicGrid) scanRing(qc []int, r int, loR, hiR, coord []int, q []float64, best *int, bestSq *float64, budget *int) bool {
+// rangeBoxEps widens the cell box (and the verification cutoff) of Range by
+// a relative margin so a point sitting exactly on the query ball's boundary
+// can never be excluded by floating-point rounding of the box bounds. Range
+// promises a superset of the closed ball; callers verify the precise
+// predicate they care about, so the margin only ever adds candidates.
+const rangeBoxEps = 1e-9
+
+// Range appends to out the ids of every indexed point whose stored position
+// lies within L2 distance r of q, and returns the extended slice. It is the
+// radius-query counterpart of Nearest: the cell box covering the ball is
+// enumerated and every bucketed candidate is verified by its true (stored)
+// distance, so the result is exact over the grid's own positions — modulo a
+// deliberate one-sided widening by rangeBoxEps, which can admit points a few
+// ulps outside the ball but never lose one on it. Callers that search a
+// stale snapshot widen r by their drift budget and re-verify candidates
+// against live rows. When the box would visit more cells than a straight
+// scan of the point set, Range verifies all points linearly instead — the
+// result is identical; the budget only bounds the worst case at O(n).
+//
+// Two distinct cells inside the box can share a bucket through a hash
+// collision, in which case their ids are appended twice; callers that sort
+// the candidate list deduplicate adjacent ids.
+func (g *DynamicGrid) Range(q []float64, r float64, out []int) []int {
+	if len(q) != g.dim {
+		panic(fmt.Sprintf("index: Range query dim %d, index dim %d", len(q), g.dim))
+	}
+	if len(g.keys) == 0 || r < 0 || math.IsNaN(r) {
+		return out
+	}
+	cutoffSq := r * r
+	cutoffSq += cutoffSq * rangeBoxEps
+	var bufLo, bufHi, bufC [8]int
+	lo := gridCoordBuf(&bufLo, g.dim)
+	hi := gridCoordBuf(&bufHi, g.dim)
+	coord := gridCoordBuf(&bufC, g.dim)
+	budget := 2*len(g.keys) + 64
+	cells := 1
 	for j := 0; j < g.dim; j++ {
-		loR[j] = qc[j] - r
-		if loR[j] < g.lo[j] {
-			loR[j] = g.lo[j]
+		rb := r + rangeBoxEps*(math.Abs(q[j])+r)
+		lo[j] = int(math.Floor((q[j] - rb) / g.cellSize))
+		if lo[j] < g.lo[j] {
+			lo[j] = g.lo[j]
 		}
-		hiR[j] = qc[j] + r
-		if hiR[j] > g.hi[j] {
-			hiR[j] = g.hi[j]
+		hi[j] = int(math.Floor((q[j] + rb) / g.cellSize))
+		if hi[j] > g.hi[j] {
+			hi[j] = g.hi[j]
 		}
-		if loR[j] > hiR[j] {
-			return true // ring entirely outside the occupied box
+		if lo[j] > hi[j] {
+			return out
+		}
+		span := hi[j] - lo[j] + 1
+		if cells > budget/span+1 {
+			cells = budget + 1 // saturate: the box already exceeds the budget
+		} else {
+			cells *= span
 		}
 	}
-	copy(coord, loR)
+	if cells > budget {
+		for id := 0; id < len(g.keys); id++ {
+			if _, within := vector.SqDistanceWithin(g.flat[id*g.dim:(id+1)*g.dim], q, cutoffSq); within {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	copy(coord, lo)
 	for {
-		// Only cells on the ring surface (Chebyshev distance exactly r).
-		cheb := 0
-		for j := 0; j < g.dim; j++ {
-			d := coord[j] - qc[j]
-			if d < 0 {
-				d = -d
-			}
-			if d > cheb {
-				cheb = d
+		for _, id := range g.cells[coordHash(coord)] {
+			if _, within := vector.SqDistanceWithin(g.flat[id*g.dim:(id+1)*g.dim], q, cutoffSq); within {
+				out = append(out, id)
 			}
 		}
-		if cheb == r {
-			*budget = *budget - 1
-			if *budget < 0 {
-				return false
-			}
-			for _, id := range g.cells[coordHash(coord)] {
-				row := g.flat[id*g.dim : (id+1)*g.dim]
-				sq := vector.SqDistanceFlat(row, q)
-				if sq < *bestSq || (sq == *bestSq && id < *best) {
-					*best, *bestSq = id, sq
-				}
-			}
-		}
-		// Advance the odometer.
 		j := 0
 		for ; j < g.dim; j++ {
 			coord[j]++
-			if coord[j] <= hiR[j] {
+			if coord[j] <= hi[j] {
 				break
 			}
-			coord[j] = loR[j]
+			coord[j] = lo[j]
 		}
 		if j == g.dim {
-			return true
+			return out
 		}
 	}
 }

@@ -202,3 +202,132 @@ func TestDynamicGridTieBreaksLowID(t *testing.T) {
 		t.Errorf("tie: got id %d, want 0", id)
 	}
 }
+
+// TestDynamicGridRangeMatchesLinear checks the radius-query contract on
+// random point sets: Range must return every id within r of the query (a
+// point on the ball's boundary included), and nothing farther than the
+// documented rounding widening. Duplicates from colliding cells are allowed,
+// so the comparison is on the deduplicated id set.
+func TestDynamicGridRangeMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{1, 2, 3, 4} {
+		for _, n := range []int{1, 40, 500} {
+			pts := randPts(rng, n, dim, 2)
+			g, err := NewDynamicGrid(dim, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pts {
+				if _, err := g.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for trial := 0; trial < 60; trial++ {
+				q := randPts(rng, 1, dim, 2.5)[0]
+				r := rng.Float64() * 2.5 // from point-free to most-of-the-set
+				got := map[int]bool{}
+				for _, id := range g.Range(q, r, nil) {
+					got[id] = true
+				}
+				for id, p := range pts {
+					var sq float64
+					for j := range p {
+						d := p[j] - q[j]
+						sq += d * d
+					}
+					if sq <= r*r && !got[id] {
+						t.Fatalf("dim=%d n=%d r=%v: Range missed id %d at sq %v", dim, n, r, id, sq)
+					}
+					if got[id] && sq > r*r*(1+2*rangeBoxEps)+1e-18 {
+						t.Fatalf("dim=%d n=%d r=%v: Range returned id %d at sq %v > r²", dim, n, r, id, sq)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDynamicGridRangeEdgeCases exercises empty grids, negative and NaN
+// radii, zero radius on an exact hit, and the linear fallback when the box
+// dwarfs the point set.
+func TestDynamicGridRangeEdgeCases(t *testing.T) {
+	g, err := NewDynamicGrid(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := g.Range([]float64{0, 0}, 1, nil); len(out) != 0 {
+		t.Fatalf("empty grid returned %v", out)
+	}
+	if _, err := g.Insert([]float64{0.25, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if out := g.Range([]float64{0.25, 0.25}, 0, nil); len(out) != 1 || out[0] != 0 {
+		t.Fatalf("zero-radius exact hit: %v", out)
+	}
+	if out := g.Range([]float64{0, 0}, -1, nil); len(out) != 0 {
+		t.Fatalf("negative radius returned %v", out)
+	}
+	if out := g.Range([]float64{0, 0}, math.NaN(), nil); len(out) != 0 {
+		t.Fatalf("NaN radius returned %v", out)
+	}
+	// A huge radius forces the box budget fallback; the single point is found.
+	if out := g.Range([]float64{0, 0}, 1e9, nil); len(out) != 1 || out[0] != 0 {
+		t.Fatalf("huge radius: %v", out)
+	}
+}
+
+// TestDynamicGridNearestStale verifies the drift-slack search: the grid
+// holds stale positions, every live point has moved at most slack from its
+// stored row, and NearestStale must still return the exact argmin over the
+// live rows — including when the answer arrives via the seed.
+func TestDynamicGridNearestStale(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, dim := range []int{1, 2, 3, 4} {
+		for _, n := range []int{1, 25, 400} {
+			stale := randPts(rng, n, dim, 2)
+			g, err := NewDynamicGrid(dim, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range stale {
+				if _, err := g.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, slack := range []float64{0, 0.05, 0.4} {
+				// Perturb each live row by at most slack from its stale row.
+				live := make([]float64, n*dim)
+				for i, p := range stale {
+					move := slack * rng.Float64() / math.Sqrt(float64(dim))
+					for j := range p {
+						live[i*dim+j] = p[j] + move*(rng.Float64()*2-1)
+					}
+				}
+				for trial := 0; trial < 60; trial++ {
+					q := randPts(rng, 1, dim, 2.5)[0]
+					gotID, gotSq := g.NearestStale(q, slack, live, -1, 0)
+					wantID, wantSq := -1, math.Inf(1)
+					for i := 0; i < n; i++ {
+						var sq float64
+						for j := 0; j < dim; j++ {
+							d := live[i*dim+j] - q[j]
+							sq += d * d
+						}
+						if sq < wantSq {
+							wantID, wantSq = i, sq
+						}
+					}
+					if gotID != wantID && math.Abs(gotSq-wantSq) > 1e-12 {
+						t.Fatalf("dim=%d n=%d slack=%v: NearestStale %d (sq %v), linear %d (sq %v)",
+							dim, n, slack, gotID, gotSq, wantID, wantSq)
+					}
+					// A better-than-everything seed must win; seed ids may
+					// point past the grid's rows (an un-indexed tail).
+					if seedID, seedSq := g.NearestStale(q, slack, live, n+3, wantSq/2); seedID != n+3 || seedSq != wantSq/2 {
+						t.Fatalf("dim=%d n=%d slack=%v: seed lost: got (%d, %v)", dim, n, slack, seedID, seedSq)
+					}
+				}
+			}
+		}
+	}
+}

@@ -131,17 +131,41 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	}
 	info := ModelInfo{}
 	if s.model != nil {
+		// One pinned View, so K/Steps/Converged describe the same version
+		// even while training publishes concurrently.
+		v := s.model.View()
 		cfg := s.model.Config()
 		info = ModelInfo{
 			Loaded:     true,
-			Prototypes: s.model.K(),
-			Steps:      s.model.Steps(),
-			Converged:  s.model.Converged(),
+			Prototypes: v.K(),
+			Steps:      v.Steps(),
+			Converged:  v.Converged(),
 			Vigilance:  cfg.Vigilance,
 			Dim:        cfg.Dim,
 		}
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// modelReader is the prediction surface the statement evaluator needs. Both
+// *core.Model (always answering from the latest published version) and
+// core.View (pinned to one version) satisfy it; the batch endpoint pins a
+// View so every statement of one request is answered by the same model
+// version even while training or a model swap runs concurrently.
+type modelReader interface {
+	PredictMean(core.Query) (float64, error)
+	Regression(core.Query) ([]core.LocalLinear, error)
+	PredictValue(core.Query, []float64) (float64, error)
+}
+
+// reader returns the per-request prediction surface, or nil when the server
+// has no model (parseStatement rejects APPROX statements in that case, and
+// exact statements never touch it).
+func (s *Server) reader() modelReader {
+	if s.model == nil {
+		return nil
+	}
+	return s.model
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -163,7 +187,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	resp, err := s.answer(stmt)
+	resp, err := s.answer(stmt, s.reader())
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, exec.ErrEmptySubspace) {
@@ -233,6 +257,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	// Pin one model version for the whole batch: the answers are mutually
+	// consistent even while a training stream or a zero-downtime model swap
+	// publishes newer versions mid-request.
+	var reader modelReader
+	if s.model != nil {
+		reader = s.model.View()
+	}
 	items := make([]BatchItem, len(req.SQL))
 	exec.ForEachParallel(len(req.SQL), func(i int) {
 		stmt, _, err := s.parseStatement(req.SQL[i])
@@ -240,7 +271,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			items[i] = BatchItem{Error: err.Error()}
 			return
 		}
-		resp, err := s.answer(stmt)
+		resp, err := s.answer(stmt, reader)
 		if err != nil {
 			items[i] = BatchItem{Error: err.Error()}
 			return
@@ -253,7 +284,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) answer(stmt *sqlfront.Statement) (*QueryResponse, error) {
+func (s *Server) answer(stmt *sqlfront.Statement, model modelReader) (*QueryResponse, error) {
 	start := time.Now()
 	resp := &QueryResponse{Kind: stmt.Kind.String(), Approx: stmt.Approx}
 	rq := exec.RadiusQuery{Center: stmt.Center, Theta: stmt.Theta, P: stmt.Norm}
@@ -270,7 +301,7 @@ func (s *Server) answer(stmt *sqlfront.Statement) (*QueryResponse, error) {
 			if err != nil {
 				return nil, err
 			}
-			y, err := s.model.PredictMean(q)
+			y, err := model.PredictMean(q)
 			if err != nil {
 				return nil, err
 			}
@@ -291,7 +322,7 @@ func (s *Server) answer(stmt *sqlfront.Statement) (*QueryResponse, error) {
 			if err != nil {
 				return nil, err
 			}
-			locals, err := s.model.Regression(q)
+			locals, err := model.Regression(q)
 			if err != nil {
 				return nil, err
 			}
@@ -329,7 +360,7 @@ func (s *Server) answer(stmt *sqlfront.Statement) (*QueryResponse, error) {
 			if err != nil {
 				return nil, err
 			}
-			u, err := s.model.PredictValue(q, stmt.At)
+			u, err := model.PredictValue(q, stmt.At)
 			if err != nil {
 				return nil, err
 			}

@@ -179,7 +179,10 @@ func (h *Harness) TrainModel(cfg core.Config, maxPairs int) (*core.Model, core.T
 	if err != nil {
 		return nil, core.TrainingResult{}, nil, err
 	}
-	res, err := m.Train(pairs)
+	// Bulk ingestion of a fresh model: TrainBatch applies the identical
+	// sequential updates as Train but publishes one serving snapshot for
+	// the whole stream instead of one per pair.
+	res, err := m.TrainBatch(pairs)
 	if err != nil {
 		return nil, core.TrainingResult{}, nil, err
 	}

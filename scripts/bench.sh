@@ -15,10 +15,13 @@ trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkWinnerSearch' -benchtime "${WINNER_BENCHTIME:-2000x}" \
     ./internal/core/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkOverlapSet|BenchmarkPredictMeanScaling' \
+    -benchtime "${OVERLAP_BENCHTIME:-500x}" ./internal/core/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkReadDuringTraining' \
+    -benchtime "${READ_BENCHTIME:-2000x}" ./internal/core/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkPredictBatch|BenchmarkServeThroughput' \
     -benchtime "${BATCH_BENCHTIME:-100x}" . >>"$tmp"
 
-GOMAXPROCS_SEEN="$(go env GOMAXPROCS 2>/dev/null || true)"
 
 awk -v gmp="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
 BEGIN { print "{"; printf "  \"gomaxprocs\": %d,\n", gmp; print "  \"benchmarks\": ["; n = 0 }
