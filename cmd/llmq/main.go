@@ -16,11 +16,13 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -401,11 +403,24 @@ func cmdBatch(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "[%d] approx AVG(%s) = %.6g\n", i+1, stmts[i].Output, y)
 		}
 	} else {
+		// An interrupt (Ctrl-C) cancels the pool: already-claimed statements
+		// finish and print, the rest are reported as skipped.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
 		bufs := make([]bytes.Buffer, len(stmts))
 		errs := make([]error, len(stmts))
-		exec.ForEachParallel(len(stmts), func(i int) {
+		ran := make([]bool, len(stmts))
+		if err := exec.ForEachParallelCtx(ctx, len(stmts), func(i int) {
 			errs[i] = executeStatement(&bufs[i], stmts[i], e, model)
-		})
+			ran[i] = true
+		}); err != nil {
+			fmt.Fprintf(out, "batch interrupted: %v\n", err)
+			for i := range errs {
+				if !ran[i] {
+					errs[i] = fmt.Errorf("skipped: %w", err)
+				}
+			}
+		}
 		for i := range stmts {
 			if errs[i] != nil {
 				fmt.Fprintf(out, "[%d] error: %v\n", i+1, errs[i])

@@ -27,7 +27,11 @@
 // immutable copy-on-write snapshots through an atomic pointer, every
 // prediction answers from one consistent published version with zero
 // locking, and Model.View pins a version across calls — the zero-downtime
-// retrain/model-swap primitive. PredictBatch and TrainBatch, the
+// retrain/model-swap primitive. The store is chunked: versions share
+// unchanged 256-row chunks by pointer and a write copies only the chunk
+// it dirties, so publishing after one training pair costs O(touched rows)
+// rather than O(K) — a live stream publishes every pair even at K=100k
+// while concurrent reads stay at idle latency. PredictBatch and TrainBatch, the
 // executor's MeanBatch/RegressionBatch, the HTTP /query/batch endpoint and
 // the llmq batch subcommand fan work out over bounded worker pools, and
 // the llmq serve subcommand stands the HTTP service up directly.

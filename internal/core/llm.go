@@ -114,16 +114,17 @@ func (l *LLM) initRLS(delta float64) {
 }
 
 // rlsUpdate applies one recursive-least-squares step for the regressor
-// z = [1, x − x_k, θ − θ_k] and residual res = y − f_k(x, θ). It returns the
-// Γ^H contribution of the step (the norm of the slope change plus the
-// absolute intercept change). The prototype itself is not moved here.
-func (l *LLM) rlsUpdate(z []float64, res float64) float64 {
+// z = [1, x − x_k, θ − θ_k] and residual res = y − f_k(x, θ), using pz as
+// len(z)-sized scratch (the writer's, so the training hot path does not
+// allocate). It returns the Γ^H contribution of the step (the norm of the
+// slope change plus the absolute intercept change). The prototype itself is
+// not moved here.
+func (l *LLM) rlsUpdate(z, pz []float64, res float64) float64 {
 	n := len(z)
 	if l.p == nil {
 		l.initRLS(1e-3)
 	}
 	// pz = P·z and the scalar s = 1 + zᵀ·P·z.
-	pz := make([]float64, n)
 	for i := 0; i < n; i++ {
 		row := l.p[i*n : (i+1)*n]
 		var acc float64

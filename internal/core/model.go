@@ -132,9 +132,13 @@ func (c Config) validate() (Config, error) {
 // immutable storeSnapshot obtained with one atomic pointer load — no mutex,
 // no reader/writer contention, no blocking behind a training stream.
 // Observe/Train/TrainBatch serialize on a writer mutex, build the next
-// version, and publish it with one atomic store (copy-on-write). Use View
-// to pin one version across several calls; see View for the zero-downtime
-// model-swap pattern.
+// version, and publish it with one atomic store. Versions share their row
+// chunks copy-on-write (see protoStore): publishing after one training pair
+// copies the chunk the winner row lives in and the chunk-pointer tables,
+// not the K×(d+1) matrices, so a live training stream publishes every step
+// at O(touched rows) no matter how large the prototype set has grown. Use
+// View to pin one version across several calls; see View for the
+// zero-downtime model-swap pattern.
 type Model struct {
 	cfg  Config
 	snap atomic.Pointer[storeSnapshot] // published serving state
@@ -146,6 +150,8 @@ type Model struct {
 	converged  bool        // termination criterion reached
 	lastGamma  float64     // most recent Γ value
 	quietSteps int         // consecutive steps with Γ ≤ γ
+	zbuf       []float64   // RLS regressor scratch (writer-locked)
+	pzbuf      []float64   // RLS gain scratch (writer-locked)
 }
 
 // TrainingPair is one observed (query, answer) pair from the stream T.
@@ -341,11 +347,16 @@ func (m *Model) observeLocked(q Query, answer float64) StepInfo {
 		l.Intercept += dy
 		gammaH = math.Sqrt(db) + math.Abs(dy)
 	default: // SolverRLS
-		z := make([]float64, q.Dim()+2)
+		n := q.Dim() + 2
+		if cap(m.zbuf) < n {
+			m.zbuf = make([]float64, n)
+			m.pzbuf = make([]float64, n)
+		}
+		z := m.zbuf[:n]
 		z[0] = 1
 		copy(z[1:], diffX)
 		z[len(z)-1] = diffTheta
-		gammaH = l.rlsUpdate(z, residual)
+		gammaH = l.rlsUpdate(z, m.pzbuf[:n], residual)
 	}
 
 	l.Wins++
@@ -426,9 +437,9 @@ func (m *Model) Train(pairs []TrainingPair) (TrainingResult, error) {
 // acquisition and a single snapshot publication. The paper's joint AVQ/SGD
 // update is inherently sequential — step t+1's winner depends on step t's
 // drift — so batching does not change the math; it amortizes both the
-// synchronization and the copy-on-write publication cost (one O(K) copy for
-// the whole batch instead of one per pair), which makes it the preferred
-// bulk-ingestion path. Concurrent readers keep answering from the previous
+// synchronization and the copy-on-write publication cost (each chunk is
+// copied at most once for the whole batch, however many of its rows the
+// batch touches), which makes it the preferred bulk-ingestion path. Concurrent readers keep answering from the previous
 // published version for the duration and atomically see the post-batch
 // model afterwards — a zero-downtime retrain. Pairs are validated before
 // any step is applied.

@@ -61,7 +61,7 @@ func (m *Model) Save(w io.Writer) error {
 			Intercept:  c[0],
 			SlopeX:     append([]float64(nil), c[1:1+s.dim]...),
 			SlopeTheta: c[s.coefW-1],
-			Wins:       s.wins[i],
+			Wins:       s.win(i),
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -11,23 +11,25 @@ import (
 )
 
 // storeSnapshot is one immutable published version of the model's serving
-// state: the prototype matrix, the LLM coefficient matrix, the win counts,
-// and the shared read epoch with its drift slack and max-θ bound. A snapshot
-// is created by protoStore.publish under the writer lock, installed with one
-// atomic pointer store, and then never mutated — readers that loaded it keep
-// a consistent version for as long as they hold the pointer, while training
-// publishes newer versions alongside it. This is what makes every prediction
-// method lock-free and what allows serving to pin one model version across a
-// whole batch (View).
+// state: the chunk-pointer tables of the prototype matrix, the LLM
+// coefficient matrix and the win counts, and the shared read epoch with its
+// drift slack and max-θ bound. A snapshot is created by protoStore.publish
+// under the writer lock, installed with one atomic pointer store, and then
+// never mutated — readers that loaded it keep a consistent version for as
+// long as they hold the pointer, while training publishes newer versions
+// alongside it. Chunks are shared by pointer across versions: the writer
+// copies a chunk before its first post-publication write to a row this
+// snapshot can see (rows ≥ k were appended later and are never read here),
+// so the rows behind the table are frozen even though most of them are the
+// same memory every other version reads. This is what makes every prediction
+// method lock-free, what allows serving to pin one model version across a
+// whole batch (View), and what makes publishing a version O(touched chunks)
+// instead of O(K).
 type storeSnapshot struct {
-	dim   int // input dimensionality d
-	width int // d+1
-	coefW int // d+2
-	k     int // prototype count
+	chunkTable // the chunk-pointer table and its layout decoders
 
-	flat []float64 // k rows × width: [x_k..., θ_k]
-	coef []float64 // k rows × coefW: [y_k, b_Xk..., b_Θk]
-	wins []int
+	dim int // input dimensionality d
+	k   int // prototype count
 
 	epoch    *readEpoch // shared immutable index (nil below the size gates)
 	slack    float64    // max prototype displacement vs the epoch's stale rows
@@ -38,14 +40,11 @@ type storeSnapshot struct {
 	lastGamma float64
 }
 
-// row returns the k-th prototype row [x_k..., θ_k].
-func (s *storeSnapshot) row(k int) []float64 {
-	return s.flat[k*s.width : (k+1)*s.width]
-}
-
-// coefRow returns the k-th coefficient row [y_k, b_Xk..., b_Θk].
-func (s *storeSnapshot) coefRow(k int) []float64 {
-	return s.coef[k*s.coefW : (k+1)*s.coefW]
+// chunked wraps the snapshot's chunk table for the chunk-iterating kernels
+// (the prototype rows are each chunk's prefix); the view is three words, so
+// building one allocates nothing.
+func (s *storeSnapshot) chunked() vector.Chunked {
+	return vector.NewChunked(s.width, s.k, s.dataC)
 }
 
 // eval evaluates f_k(x, θ) (Eq. 5 / Eq. 12) from the flat rows, with the
@@ -124,7 +123,7 @@ func (s *storeSnapshot) winnerQuery(q Query, sc *predictScratch) (int, float64) 
 	qflat := sc.qvec(s.width)
 	copy(qflat, q.Center)
 	qflat[s.width-1] = q.Theta
-	k, sq := winnerOn(s.epoch, s.flat, s.width, qflat, s.slack)
+	k, sq := winnerOn(s.epoch, s.chunked(), qflat, s.slack)
 	return k, math.Sqrt(sq)
 }
 
@@ -132,10 +131,22 @@ func (s *storeSnapshot) winnerQuery(q Query, sc *predictScratch) (int, float64) 
 // the Eq. (9)/(10) membership-and-weight arithmetic, shared by the linear
 // scan and every radius-query sweep so the paths cannot diverge — and
 // appends it to the running overlap set when its degree is positive.
+//
+// The membership test ‖x − x_k‖ ≤ θ + θ_k is evaluated with the partial-
+// distance kernel: the radii are known before the distance, so a row whose
+// partial sum of squares already exceeds (θ + θ_k)² is abandoned mid-row.
+// sq ≤ r² is equivalent to dist ≤ r (both sides non-negative, √ monotone),
+// and a row exactly on the boundary has overlap degree 0 either way, so the
+// cutoff never changes the resulting set — it only skips arithmetic (and
+// the square root) for rows that cannot be members.
 func (s *storeSnapshot) overlapAccumulate(q Query, id int, idx []int, weights []float64, total float64) ([]int, []float64, float64) {
 	row := s.row(id)
-	dist := math.Sqrt(vector.SqDistanceFlat(q.Center, row[:s.dim]))
-	deg := overlapDegree(dist, q.Theta, row[s.dim])
+	r := q.Theta + row[s.dim]
+	sq, within := vector.SqDistanceWithin(q.Center, row[:s.dim], r*r)
+	if !within {
+		return idx, weights, total
+	}
+	deg := overlapDegree(math.Sqrt(sq), q.Theta, row[s.dim])
 	if deg > 0 {
 		idx = append(idx, id)
 		weights = append(weights, deg)

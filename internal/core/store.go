@@ -8,17 +8,46 @@ import (
 	"llmq/internal/vector"
 )
 
+// Chunk geometry, shared with the vector kernels that scan chunked matrices.
+const (
+	chunkShift = vector.ChunkShift
+	chunkRows  = vector.ChunkRows
+	chunkMask  = vector.ChunkMask
+)
+
 // protoStore is the writer-side serving state of the model: every prototype
-// w_k = [x_k, θ_k] is packed into one contiguous row-major matrix of K rows ×
-// (d+1) columns, with a parallel coefficient matrix of K rows × (d+2) columns
-// mirroring each LLM's [y_k, b_{X,k}, b_{Θ,k}] — everything a prediction
-// needs, in flat memory, without chasing the per-LLM training objects.
+// w_k = [x_k, θ_k] is packed into row-major chunks of chunkRows rows ×
+// (d+1) columns, with parallel coefficient chunks of chunkRows × (d+2)
+// columns mirroring each LLM's [y_k, b_{X,k}, b_{Θ,k}] and per-row win
+// counts — everything a prediction needs, in cache-contiguous memory,
+// without chasing the per-LLM training objects.
 //
 // The store mirrors the authoritative per-LLM parameters: Observe updates
 // the LLM (training math needs its solver state) and then syncs the moved
 // prototype row and coefficient row here. All methods assume the caller
 // holds the model's writer lock; readers never touch the store — they read
 // immutable storeSnapshot values published from it (see snapshot.go).
+//
+// # Chunked copy-on-write publication
+//
+// Publication used to copy the whole K×(d+1) and K×(d+2) matrices per
+// Observe — O(K) for a step that touches one row. The store now keeps the
+// rows in fixed-size chunks and shares unchanged chunks by pointer across
+// versions:
+//
+//   - publish copies only the chunk-pointer table (⌈K/chunkRows⌉ slice
+//     pointers) into the snapshot and marks every chunk shared;
+//   - a write to row i of a shared chunk first copies that one chunk
+//     (copy-on-write) — unless i was appended after the last publication
+//     (i >= pubK), in which case no published reader can see the row and the
+//     write lands in place;
+//   - chunks are allocated at full capacity up front, so appending a row
+//     never relocates a chunk another version is reading.
+//
+// One training pair therefore publishes in O(chunkRows·d + K/chunkRows):
+// the winner-row chunk copy plus the pointer tables, independent of K for
+// any realistic K. A spawn appends into the tail chunk in place (the row is
+// invisible to every published k) and costs no copy at all.
 //
 // # The read epoch
 //
@@ -35,15 +64,15 @@ import (
 //
 // Between rebuilds the epoch is stale: prototypes drift and new ones are
 // appended. Staleness never breaks exactness. Appended rows live in the
-// contiguous tail of the live matrix and are scanned separately, and every
+// trailing chunks of the live matrix and are scanned separately, and every
 // pruning bound is widened by the worst per-prototype displacement since the
 // epoch was built (maxDrift): a row's live distance is at least its stale
 // distance minus its drift, so a row pruned under the widened bound cannot
 // have won, and surviving candidates are verified against the live rows.
 // Rebuilds happen on the write path once the tail or the drift grows past
 // its threshold, amortizing to O(log K) per step. Because an epoch is never
-// mutated after it is built, snapshots can share it without copying — only
-// the flat matrices are copied at publication.
+// mutated after it is built, snapshots share it without copying, exactly as
+// they share unchanged row chunks.
 //
 // # The max-θ invariant
 //
@@ -56,12 +85,16 @@ import (
 // within θ + maxTheta of the query centre, hence within
 // √((θ+maxTheta)² + max(θ, maxTheta)²) of [x, θ] in the query space.
 type protoStore struct {
-	width     int       // d+1: [x..., θ]
-	coefW     int       // d+2: [y, b_X..., b_Θ]
-	flat      []float64 // K rows × width, row-major, live
-	coef      []float64 // K rows × coefW, row-major, live
-	wins      []int     // per-prototype absorbed-pair counts, live
-	vigilance float64   // rebuild threshold scale (the prototype spacing)
+	chunkTable
+
+	rows      int     // number of stored prototypes K
+	pubK      int     // rows at the last publication; rows >= pubK are unpublished
+	vigilance float64 // rebuild threshold scale (the prototype spacing)
+
+	// shared[c] records whether any published snapshot references chunk c —
+	// a write to a published row of a shared chunk must copy the chunk
+	// first.
+	shared []bool
 
 	epoch    *readEpoch // immutable, shared with published snapshots
 	drift    []float64  // per-built-row displacement since the epoch build
@@ -71,12 +104,54 @@ type protoStore struct {
 	qbuf []float64 // winnerQuery scratch (single writer)
 }
 
+// chunkTable is the chunk-layout decoder shared by the writer-side store
+// and every published snapshot, so the layout arithmetic exists exactly
+// once. Each chunk is ONE allocation laid out as
+// [chunkRows×width prototype rows][chunkRows×coefW coefficient rows]
+// [chunkRows win counts (stored as float64 — exact below 2^53)]: a row's
+// prototype, coefficients and win count dirty together on a winner update,
+// so keeping them in one buffer makes the copy-on-write copy one
+// allocation, and referencing chunks through *vector.Chunk makes
+// publication copy one word per chunk. The prototype rows are the prefix,
+// so the table doubles as the vector.Chunked view the argmin kernels scan.
+type chunkTable struct {
+	width int             // d+1: [x..., θ]
+	coefW int             // d+2: [y, b_X..., b_Θ]
+	dataC []*vector.Chunk // the chunk pointers
+}
+
+// chunkFloats is the size of one chunk allocation: prototype rows,
+// coefficient rows and win counts for chunkRows rows.
+func (t *chunkTable) chunkFloats() int { return chunkRows * (t.width + t.coefW + 1) }
+
+// row returns the k-th prototype row [x_k..., θ_k].
+func (t *chunkTable) row(k int) []float64 {
+	j := (k & chunkMask) * t.width
+	return t.dataC[k>>chunkShift].Data[j : j+t.width]
+}
+
+// coefRow returns the k-th coefficient row [y_k, b_Xk..., b_Θk].
+func (t *chunkTable) coefRow(k int) []float64 {
+	j := chunkRows*t.width + (k&chunkMask)*t.coefW
+	return t.dataC[k>>chunkShift].Data[j : j+t.coefW]
+}
+
+// win returns the k-th prototype's absorbed-pair count.
+func (t *chunkTable) win(k int) int {
+	return int(t.dataC[k>>chunkShift].Data[chunkRows*(t.width+t.coefW)+(k&chunkMask)])
+}
+
+// setWin stores the k-th prototype's absorbed-pair count.
+func (t *chunkTable) setWin(k, wins int) {
+	t.dataC[k>>chunkShift].Data[chunkRows*(t.width+t.coefW)+(k&chunkMask)] = float64(wins)
+}
+
 // readEpoch is one immutable generation of the search index: either a
 // uniform grid or a projection spine over a stale copy of the first builtK
 // prototype rows. It is built on the write path and never mutated, so the
 // store and any number of published snapshots reference it concurrently
-// without synchronization; each referencer pairs it with its own live row
-// matrix and its own drift slack.
+// without synchronization; each referencer pairs it with its own live chunk
+// table and its own drift slack.
 type readEpoch struct {
 	builtK int
 	width  int
@@ -107,15 +182,44 @@ const (
 )
 
 func newProtoStore(dim int, vigilance float64) *protoStore {
-	return &protoStore{width: dim + 1, coefW: dim + 2, vigilance: vigilance}
+	return &protoStore{
+		chunkTable: chunkTable{width: dim + 1, coefW: dim + 2},
+		vigilance:  vigilance,
+	}
 }
 
 // k returns the number of stored prototypes.
-func (s *protoStore) k() int { return len(s.flat) / s.width }
+func (s *protoStore) k() int { return s.rows }
 
-// row returns the k-th prototype row [x_k..., θ_k].
-func (s *protoStore) row(k int) []float64 {
-	return s.flat[k*s.width : (k+1)*s.width]
+// liveView wraps the live chunk table for the chunk-iterating kernels (the
+// prototype rows are each chunk's prefix). The view is three words —
+// building one allocates nothing.
+func (s *protoStore) liveView() vector.Chunked {
+	return vector.NewChunked(s.width, s.rows, s.dataC)
+}
+
+// writableChunk makes the chunk holding row k writable, restoring the
+// copy-on-write invariant: if the chunk is referenced by a published snapshot and
+// row k is visible to it (k < pubK), the chunk — prototype rows, coefficient
+// rows and win counts, one buffer — is first copied afresh. Rows appended
+// since the last publication are invisible to every reader and are written
+// in place even inside a shared chunk.
+func (s *protoStore) writableChunk(k int) {
+	ci := k >> chunkShift
+	if !s.shared[ci] || k >= s.pubK {
+		return
+	}
+	buf := make([]float64, s.chunkFloats())
+	copy(buf, s.dataC[ci].Data)
+	s.dataC[ci] = &vector.Chunk{Data: buf}
+	s.shared[ci] = false
+}
+
+// appendChunk grows the table by one empty chunk, allocated at full
+// capacity so later appends into it never move memory under a reader.
+func (s *protoStore) appendChunk() {
+	s.dataC = append(s.dataC, &vector.Chunk{Data: make([]float64, s.chunkFloats())})
+	s.shared = append(s.shared, false)
 }
 
 // minEpochK is the prototype count below which no epoch is built and every
@@ -129,12 +233,17 @@ func (s *protoStore) minEpochK() int {
 
 // add appends a prototype row (with a zeroed coefficient row — the caller
 // syncs the LLM's coefficients right after). The new row joins the epoch's
-// tail until the next rebuild.
+// tail until the next rebuild, and stays invisible to published snapshots
+// (their k precedes it), so the append costs no chunk copy.
 func (s *protoStore) add(center vector.Vec, theta float64) {
-	s.flat = append(s.flat, center...)
-	s.flat = append(s.flat, theta)
-	s.coef = append(s.coef, make([]float64, s.coefW)...)
-	s.wins = append(s.wins, 0)
+	k := s.rows
+	if k>>chunkShift == len(s.dataC) {
+		s.appendChunk()
+	}
+	s.rows++
+	row := s.row(k)
+	copy(row, center)
+	row[s.width-1] = theta
 	if theta > s.maxTheta {
 		s.maxTheta = theta
 	}
@@ -142,7 +251,9 @@ func (s *protoStore) add(center vector.Vec, theta float64) {
 }
 
 // update syncs the k-th prototype row after a drift step, accounting the
-// displacement against the epoch's staleness budget.
+// displacement against the epoch's staleness budget. This is the write that
+// triggers copy-on-write: the winner row usually lives in a chunk shared
+// with the last published version.
 func (s *protoStore) update(k int, center vector.Vec, theta float64) {
 	row := s.row(k)
 	if s.epoch != nil && k < s.epoch.builtK {
@@ -153,6 +264,8 @@ func (s *protoStore) update(k int, center vector.Vec, theta float64) {
 			s.maxDrift = s.drift[k]
 		}
 	}
+	s.writableChunk(k)
+	row = s.row(k)
 	copy(row, center)
 	row[s.width-1] = theta
 	if theta > s.maxTheta {
@@ -162,13 +275,14 @@ func (s *protoStore) update(k int, center vector.Vec, theta float64) {
 }
 
 // syncCoef mirrors the LLM's current coefficients and win count into the
-// k-th rows of the flat serving matrices.
+// k-th rows of the chunk.
 func (s *protoStore) syncCoef(k int, l *LLM) {
-	row := s.coef[k*s.coefW : (k+1)*s.coefW]
+	s.writableChunk(k)
+	row := s.coefRow(k)
 	row[0] = l.Intercept
 	copy(row[1:1+len(l.SlopeX)], l.SlopeX)
 	row[s.coefW-1] = l.SlopeTheta
-	s.wins[k] = l.Wins
+	s.setWin(k, l.Wins)
 }
 
 // maybeRebuildEpoch rebuilds once the un-indexed tail reaches an eighth of
@@ -176,7 +290,7 @@ func (s *protoStore) syncCoef(k int, l *LLM) {
 // prototype spacing. Called on the write path only; a rebuild installs a
 // fresh immutable epoch and leaves every previously published one untouched.
 func (s *protoStore) maybeRebuildEpoch() {
-	k := s.k()
+	k := s.rows
 	if k < s.minEpochK() {
 		return
 	}
@@ -203,9 +317,11 @@ func projection(row []float64) float64 {
 
 // rebuildEpoch snapshots all current prototype rows into a fresh immutable
 // index (grid or spine by width), resets the drift budget, and re-tightens
-// the max-θ bound exactly.
+// the max-θ bound exactly. It reads the live chunks row by row; the epoch's
+// own storage is contiguous (grid rows / spine-ordered matrix), so searches
+// against the stale copy keep their flat-scan cache behaviour.
 func (s *protoStore) rebuildEpoch() {
-	k := s.k()
+	k := s.rows
 	w := s.width
 	e := &readEpoch{builtK: k, width: w}
 	if w <= storeGridMaxWidth {
@@ -246,7 +362,7 @@ func (s *protoStore) rebuildEpoch() {
 	s.maxDrift = 0
 	mt := 0.0
 	for i := 0; i < k; i++ {
-		if t := s.flat[i*w+w-1]; t > mt {
+		if t := s.row(i)[w-1]; t > mt {
 			mt = t
 		}
 	}
@@ -259,7 +375,7 @@ const storeSpineProbe = 16
 
 // winnerSpineOn finds the exact winner through a projection-spine epoch in
 // three steps. (1) Seed: the rows appended since the epoch build (the
-// contiguous tail of the live matrix) are scanned exactly, and the
+// trailing chunks of the live matrix) are scanned exactly, and the
 // storeSpineProbe spine rows whose projections bracket the query's are
 // verified — projection proximity correlates with spatial proximity, so the
 // seed distance is near-optimal. (2) Window: any row that could still beat
@@ -270,18 +386,15 @@ const storeSpineProbe = 16
 // contiguously with the C² cutoff kernel, and the few survivors are checked
 // against their live rows. Every bound carries the slack, so prototype
 // drift since the epoch build can widen the window but never hide the true
-// winner. flat is the referencer's live row matrix (the store's for the
-// writer, the snapshot's copy for a reader); slack is its drift budget
+// winner. live is the referencer's chunk table (the store's for the writer,
+// the snapshot's shared table for a reader); slack is its drift budget
 // relative to the epoch.
-func winnerSpineOn(e *readEpoch, flat []float64, qflat []float64, slack float64) (int, float64) {
+func winnerSpineOn(e *readEpoch, live vector.Chunked, qflat []float64, slack float64) (int, float64) {
 	w := e.width
 	built := e.builtK
-	best, bestSq := -1, math.Inf(1)
-	if tail := flat[built*w:]; len(tail) > 0 {
-		ti, tsq := vector.ArgminSqDistance(tail, w, qflat)
-		if ti >= 0 {
-			best, bestSq = built+ti, tsq
-		}
+	best, bestSq := vector.ArgminSqDistanceChunkedRange(live, qflat, built, -1, math.Inf(1))
+	if best < 0 {
+		bestSq = math.Inf(1)
 	}
 	qproj := projection(qflat)
 	pos := sort.SearchFloat64s(e.proj, qproj)
@@ -308,7 +421,7 @@ func winnerSpineOn(e *readEpoch, flat []float64, qflat []float64, slack float64)
 			if staleSeedSq < bestSq {
 				best, bestSq = id, staleSeedSq
 			}
-		} else if sq := vector.SqDistanceFlat(flat[id*w:(id+1)*w], qflat); sq < bestSq {
+		} else if sq := vector.SqDistanceFlat(live.Row(id), qflat); sq < bestSq {
 			best, bestSq = id, sq
 		}
 	}
@@ -324,11 +437,11 @@ func winnerSpineOn(e *readEpoch, flat []float64, qflat []float64, slack float64)
 		// workload has no projection locality here (e.g. near-uniform
 		// prototypes in a wide query space, where 1-D projections
 		// concentrate). The probes still pay for themselves: they seed the
-		// flat scan's partial-distance cutoff.
+		// chunked scan's partial-distance cutoff.
 		if best >= 0 {
-			return vector.ArgminSqDistanceSeeded(flat, w, qflat, best, bestSq)
+			return vector.ArgminSqDistanceChunkedSeeded(live, qflat, best, bestSq)
 		}
-		return vector.ArgminSqDistance(flat, w, qflat)
+		return vector.ArgminSqDistanceChunked(live, qflat)
 	}
 	for i := lo; i < hi; i++ {
 		staleSq, within := vector.SqDistanceWithin(e.flat[i*w:(i+1)*w], qflat, cutoffSq)
@@ -344,7 +457,7 @@ func winnerSpineOn(e *readEpoch, flat []float64, qflat []float64, slack float64)
 			}
 			continue
 		}
-		if sq := vector.SqDistanceFlat(flat[id*w:(id+1)*w], qflat); sq < bestSq {
+		if sq := vector.SqDistanceFlat(live.Row(id), qflat); sq < bestSq {
 			best, bestSq = id, sq
 		}
 	}
@@ -352,33 +465,28 @@ func winnerSpineOn(e *readEpoch, flat []float64, qflat []float64, slack float64)
 }
 
 // winnerOn returns the index of the prototype closest to the query-space
-// point qflat = [x..., θ] among the live rows of flat, and the squared L2
-// distance to it, using the epoch's index when one exists. All paths verify
-// candidates with the same unrolled kernel and return a true minimum: the
-// grid and flat scans break ties toward the lowest index, while the spine
-// keeps its seed on exact ties, so under ties the paths can return different
-// (equidistant) winners — the distance, and hence the vigilance test, is
-// identical either way.
-func winnerOn(e *readEpoch, flat []float64, width int, qflat []float64, slack float64) (int, float64) {
+// point qflat = [x..., θ] among the live rows of the chunk table, and the
+// squared L2 distance to it, using the epoch's index when one exists. All
+// paths verify candidates with the same unrolled kernels and return a true
+// minimum: the grid and chunked scans break ties toward the lowest index,
+// while the spine keeps its seed on exact ties, so under ties the paths can
+// return different (equidistant) winners — the distance, and hence the
+// vigilance test, is identical either way.
+func winnerOn(e *readEpoch, live vector.Chunked, qflat []float64, slack float64) (int, float64) {
 	if e == nil {
-		return vector.ArgminSqDistance(flat, width, qflat)
+		return vector.ArgminSqDistanceChunked(live, qflat)
 	}
 	if e.grid != nil {
 		built := e.builtK
-		best, bestSq := -1, math.Inf(1)
-		if tail := flat[built*width:]; len(tail) > 0 {
-			if ti, tsq := vector.ArgminSqDistance(tail, width, qflat); ti >= 0 {
-				best, bestSq = built+ti, tsq
-			}
-		}
-		return e.grid.NearestStale(qflat, slack, flat, best, bestSq)
+		best, bestSq := vector.ArgminSqDistanceChunkedRange(live, qflat, built, -1, math.Inf(1))
+		return e.grid.NearestStale(qflat, slack, live, best, bestSq)
 	}
-	return winnerSpineOn(e, flat, qflat, slack)
+	return winnerSpineOn(e, live, qflat, slack)
 }
 
 // winner returns the winner over the store's live rows.
 func (s *protoStore) winner(qflat []float64) (int, float64) {
-	return winnerOn(s.epoch, s.flat, s.width, qflat, s.maxDrift)
+	return winnerOn(s.epoch, s.liveView(), qflat, s.maxDrift)
 }
 
 // winnerQuery is the Query-typed entry point: it assembles the query-space
@@ -395,29 +503,25 @@ func (s *protoStore) winnerQuery(q Query) (int, float64) {
 	return k, math.Sqrt(sq)
 }
 
-// publish builds an immutable snapshot of the serving state: the live flat
-// matrices are copied (one contiguous allocation), the current epoch is
-// shared by pointer, and the drift/max-θ budgets are captured as scalars.
-// The returned snapshot never changes, so readers use it without any
-// synchronization beyond the atomic pointer load that handed it out.
+// publish builds an immutable snapshot of the serving state: the chunk
+// pointer table is copied (⌈K/chunkRows⌉ slice headers — not the rows),
+// every chunk is marked shared so the next write to a published row copies
+// its chunk first, the current epoch is shared by pointer, and the
+// drift/max-θ budgets are captured as scalars. The returned snapshot never
+// changes, so readers use it without any synchronization beyond the atomic
+// pointer load that handed it out.
 func (s *protoStore) publish(dim, steps int, converged bool, lastGamma float64) *storeSnapshot {
-	k := s.k()
-	buf := make([]float64, k*(s.width+s.coefW))
-	flat := buf[:k*s.width]
-	coef := buf[k*s.width:]
-	copy(flat, s.flat)
-	copy(coef, s.coef)
-	wins := make([]int, k)
-	copy(wins, s.wins)
+	dataC := make([]*vector.Chunk, len(s.dataC))
+	copy(dataC, s.dataC)
+	for i := range s.shared {
+		s.shared[i] = true
+	}
+	s.pubK = s.rows
 	return &storeSnapshot{
-		dim:       dim,
-		width:     s.width,
-		coefW:     s.coefW,
-		k:         k,
-		flat:      flat,
-		coef:      coef,
-		wins:      wins,
-		epoch:     s.epoch,
+		dim:        dim,
+		chunkTable: chunkTable{width: s.width, coefW: s.coefW, dataC: dataC},
+		k:          s.rows,
+		epoch:      s.epoch,
 		slack:     s.maxDrift,
 		maxTheta:  s.maxTheta,
 		steps:     steps,

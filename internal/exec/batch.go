@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,15 +19,36 @@ import (
 // rest of the batch. It is exported because the serve and cmd layers drain
 // their per-statement batches with the same pool shape.
 func ForEachParallel(n int, fn func(i int)) {
+	_ = ForEachParallelCtx(context.Background(), n, fn)
+}
+
+// ForEachParallelCtx is ForEachParallel bound to a context: once ctx is
+// cancelled, workers stop claiming new indices and the call returns
+// ctx.Err() after the in-flight fn calls finish — an abandoned HTTP batch
+// request stops burning the pool mid-sheet instead of completing the whole
+// sheet for nobody. Indices claimed before the cancellation run to
+// completion (fn is never interrupted mid-call), so on a nil error every
+// index was processed, and on ctx.Err() a prefix-dense subset was.
+//
+// The cancellation check costs one atomic load per claimed index; callers
+// whose fn blocks for long stretches should additionally check ctx inside
+// fn if they need sub-item latency.
+func ForEachParallelCtx(ctx context.Context, n int, fn func(i int)) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -35,6 +57,11 @@ func ForEachParallel(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -44,24 +71,58 @@ func ForEachParallel(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // MeanBatch executes many exact Q1 queries concurrently.
 func (e *Executor) MeanBatch(qs []RadiusQuery) ([]MeanResult, []error) {
+	return e.MeanBatchCtx(context.Background(), qs)
+}
+
+// MeanBatchCtx is MeanBatch bound to a context; queries the cancelled pool
+// never reached carry the context error in their errs slot.
+func (e *Executor) MeanBatchCtx(ctx context.Context, qs []RadiusQuery) ([]MeanResult, []error) {
 	results := make([]MeanResult, len(qs))
 	errs := make([]error, len(qs))
-	ForEachParallel(len(qs), func(i int) {
+	ran := make([]bool, len(qs))
+	if err := ForEachParallelCtx(ctx, len(qs), func(i int) {
 		results[i], errs[i] = e.Mean(qs[i])
-	})
+		ran[i] = true
+	}); err != nil {
+		markSkipped(errs, ran, err)
+	}
 	return results, errs
 }
 
 // RegressionBatch executes many exact Q2 queries concurrently.
 func (e *Executor) RegressionBatch(qs []RadiusQuery) ([]RegressionResult, []error) {
+	return e.RegressionBatchCtx(context.Background(), qs)
+}
+
+// RegressionBatchCtx is RegressionBatch bound to a context; queries the
+// cancelled pool never reached carry the context error in their errs slot.
+func (e *Executor) RegressionBatchCtx(ctx context.Context, qs []RadiusQuery) ([]RegressionResult, []error) {
 	results := make([]RegressionResult, len(qs))
 	errs := make([]error, len(qs))
-	ForEachParallel(len(qs), func(i int) {
+	ran := make([]bool, len(qs))
+	if err := ForEachParallelCtx(ctx, len(qs), func(i int) {
 		results[i], errs[i] = e.Regression(qs[i])
-	})
+		ran[i] = true
+	}); err != nil {
+		markSkipped(errs, ran, err)
+	}
 	return results, errs
+}
+
+// markSkipped writes the cancellation error into the slot of every query the
+// pool never claimed, so callers can tell "skipped by cancellation" apart
+// from "executed successfully" — both would otherwise read as a nil error.
+// Each ran flag is written only by the worker that claimed that index, and
+// the pool's WaitGroup orders those writes before this read.
+func markSkipped(errs []error, ran []bool, err error) {
+	for i := range errs {
+		if !ran[i] {
+			errs[i] = err
+		}
+	}
 }

@@ -175,13 +175,14 @@ func gridCoordBuf(buf *[8]int, dim int) []int {
 // scan instead. The result is identical either way; the budget only bounds
 // the worst case at O(n) like the scan it falls back to.
 func (g *DynamicGrid) Nearest(q []float64) (int, float64) {
-	return g.NearestStale(q, 0, nil, -1, 0)
+	return g.NearestStale(q, 0, vector.Chunked{}, -1, 0)
 }
 
 // NearestStale returns the exact nearest point over the live rows when the
 // grid's stored positions are a stale snapshot of them. live is the current
-// row-major point matrix, indexed by the same dense ids as the grid (it may
-// hold more rows than the grid — the extra tail is simply not searched here);
+// point matrix as a chunked view, indexed by the same dense ids as the grid
+// (it may hold more rows than the grid — the extra tail is simply not
+// searched here); the zero Chunked means the stored rows ARE the live rows.
 // slack is an upper bound on how far any point has moved from its stored
 // position. The grid prunes by stale geometry widened by slack — a point's
 // live distance is at least its stale distance minus slack, so a candidate
@@ -195,13 +196,11 @@ func (g *DynamicGrid) Nearest(q []float64) (int, float64) {
 // Like Nearest, the ring expansion carries a visited-cell budget and falls
 // back to one exact scan over the live rows (including any tail beyond the
 // grid's ids) when the cell size is pathologically mismatched.
-func (g *DynamicGrid) NearestStale(q []float64, slack float64, live []float64, seed int, seedSq float64) (int, float64) {
+func (g *DynamicGrid) NearestStale(q []float64, slack float64, live vector.Chunked, seed int, seedSq float64) (int, float64) {
 	if len(q) != g.dim {
 		panic(fmt.Sprintf("index: NearestStale query dim %d, index dim %d", len(q), g.dim))
 	}
-	if live == nil {
-		live = g.flat
-	}
+	staleIsLive := live.IsZero()
 	best, bestSq := seed, seedSq
 	if seed < 0 {
 		best, bestSq = -1, math.Inf(1)
@@ -228,15 +227,36 @@ func (g *DynamicGrid) NearestStale(q []float64, slack float64, live []float64, s
 	hiR := gridCoordBuf(&bufHi, g.dim)
 	coord := gridCoordBuf(&bufC, g.dim)
 	budget := 2*len(g.keys) + 64
+	// boundDist tightens the ring lower bound: any point in a ring-r cell
+	// differs from q by at least (r-1) whole cells plus the distance from q
+	// to its own cell's nearest wall, in whichever axis carries the ring
+	// offset — so ring r is at least (r-1)·cellSize + boundDist away. For a
+	// query that lands near its winner (the training regime), this breaks
+	// the expansion after ring 0 instead of enumerating all 3^dim−1 ring-1
+	// cells.
+	boundDist := g.cellSize
+	for j := 0; j < g.dim; j++ {
+		lo := q[j] - float64(qc[j])*g.cellSize // distance to the lower wall
+		if lo < boundDist {
+			boundDist = lo
+		}
+		if hi := g.cellSize - lo; hi < boundDist {
+			boundDist = hi
+		}
+	}
+	if boundDist < 0 {
+		boundDist = 0 // floating-point guard: q on a cell wall
+	}
 	// cutoffSq is the stale-distance bound a candidate must beat to possibly
 	// win: (bestDist + slack)². It shrinks whenever the best improves.
 	bestDist := math.Sqrt(bestSq)
 	cutoffSq := (bestDist + slack) * (bestDist + slack)
 	for r := 0; r <= maxRing; r++ {
 		if best >= 0 && r >= 1 {
-			// Every stale position in ring r is at least (r-1)·cellSize away,
-			// so its live position is at least that minus slack.
-			if lb := float64(r-1)*g.cellSize - slack; lb > 0 && lb*lb > bestSq {
+			// Every stale position in ring r is at least
+			// (r-1)·cellSize + boundDist away, so its live position is at
+			// least that minus slack.
+			if lb := float64(r-1)*g.cellSize + boundDist - slack; lb > 0 && lb*lb > bestSq {
 				break
 			}
 		}
@@ -268,10 +288,16 @@ func (g *DynamicGrid) NearestStale(q []float64, slack float64, live []float64, s
 			if cheb == r {
 				budget--
 				if budget < 0 {
-					if best >= 0 {
-						return vector.ArgminSqDistanceSeeded(live, g.dim, q, best, bestSq)
+					if staleIsLive {
+						if best >= 0 {
+							return vector.ArgminSqDistanceSeeded(g.flat, g.dim, q, best, bestSq)
+						}
+						return vector.ArgminSqDistance(g.flat, g.dim, q)
 					}
-					return vector.ArgminSqDistance(live, g.dim, q)
+					if best < 0 {
+						bestSq = math.Inf(1)
+					}
+					return vector.ArgminSqDistanceChunkedRange(live, q, 0, best, bestSq)
 				}
 				for _, id := range g.cells[coordHash(coord)] {
 					staleSq, within := vector.SqDistanceWithin(g.flat[id*g.dim:(id+1)*g.dim], q, cutoffSq)
@@ -280,7 +306,7 @@ func (g *DynamicGrid) NearestStale(q []float64, slack float64, live []float64, s
 					}
 					sq := staleSq
 					if slack != 0 {
-						sq = vector.SqDistanceFlat(live[id*g.dim:(id+1)*g.dim], q)
+						sq = vector.SqDistanceFlat(live.Row(id), q)
 					}
 					if sq < bestSq || (sq == bestSq && id < best) {
 						best, bestSq = id, sq

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"llmq/internal/vector"
 )
 
 func randPts(rng *rand.Rand, n, dim int, scale float64) [][]float64 {
@@ -305,7 +307,7 @@ func TestDynamicGridNearestStale(t *testing.T) {
 				}
 				for trial := 0; trial < 60; trial++ {
 					q := randPts(rng, 1, dim, 2.5)[0]
-					gotID, gotSq := g.NearestStale(q, slack, live, -1, 0)
+					gotID, gotSq := g.NearestStale(q, slack, vector.ChunkedFromFlat(live, dim), -1, 0)
 					wantID, wantSq := -1, math.Inf(1)
 					for i := 0; i < n; i++ {
 						var sq float64
@@ -323,7 +325,7 @@ func TestDynamicGridNearestStale(t *testing.T) {
 					}
 					// A better-than-everything seed must win; seed ids may
 					// point past the grid's rows (an un-indexed tail).
-					if seedID, seedSq := g.NearestStale(q, slack, live, n+3, wantSq/2); seedID != n+3 || seedSq != wantSq/2 {
+					if seedID, seedSq := g.NearestStale(q, slack, vector.ChunkedFromFlat(live, dim), n+3, wantSq/2); seedID != n+3 || seedSq != wantSq/2 {
 						t.Fatalf("dim=%d n=%d slack=%v: seed lost: got (%d, %v)", dim, n, slack, seedID, seedSq)
 					}
 				}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -121,5 +122,28 @@ func TestBatchEndpointErrors(t *testing.T) {
 	}
 	if len(resp.Results) != 1 || resp.Results[0].Error == "" {
 		t.Errorf("expected a per-item error, got %+v", resp.Results)
+	}
+}
+
+// TestBatchEndpointClientGone verifies an abandoned /query/batch request
+// stops the worker pool: with the request context already cancelled the
+// handler claims no statements and writes no body.
+func TestBatchEndpointClientGone(t *testing.T) {
+	s := newServer(t, true)
+	sqls := make([]string, 64)
+	for i := range sqls {
+		sqls[i] = "SELECT AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)"
+	}
+	b, err := json.Marshal(BatchRequest{SQL: sqls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client hung up before the pool started
+	req := httptest.NewRequest(http.MethodPost, "/query/batch", bytes.NewReader(b)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Body.Len() != 0 {
+		t.Fatalf("cancelled batch wrote %d body bytes, want none", rec.Body.Len())
 	}
 }

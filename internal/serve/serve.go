@@ -265,7 +265,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		reader = s.model.View()
 	}
 	items := make([]BatchItem, len(req.SQL))
-	exec.ForEachParallel(len(req.SQL), func(i int) {
+	// The request context cancels when the client disconnects or the server
+	// shuts down: the pool stops claiming statements mid-sheet instead of
+	// finishing a batch nobody will read.
+	if err := exec.ForEachParallelCtx(r.Context(), len(req.SQL), func(i int) {
 		stmt, _, err := s.parseStatement(req.SQL[i])
 		if err != nil {
 			items[i] = BatchItem{Error: err.Error()}
@@ -277,7 +280,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		items[i] = BatchItem{QueryResponse: resp}
-	})
+	}); err != nil {
+		// The client is gone; there is nobody to write a body to.
+		return
+	}
 	writeJSON(w, http.StatusOK, BatchResponse{
 		Results: items,
 		Elapsed: time.Since(start).String(),

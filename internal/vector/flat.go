@@ -125,6 +125,12 @@ func argminSeeded(flat []float64, d int, q []float64, best int, bestSq float64) 
 		return argmin4(flat, q, best, bestSq)
 	case 5:
 		return argmin5(flat, q, best, bestSq)
+	case 6:
+		return argmin6(flat, q, best, bestSq)
+	case 7:
+		return argmin7(flat, q, best, bestSq)
+	case 8:
+		return argmin8(flat, q, best, bestSq)
 	case 9:
 		return argmin9(flat, q, best, bestSq)
 	}
@@ -202,6 +208,73 @@ func argmin5(flat, q []float64, best int, bestSq float64) (int, float64) {
 		d3 := row[3] - q3
 		d4 := row[4] - q4
 		if sq := (d0*d0 + d1*d1) + (d2*d2 + d3*d3) + d4*d4; sq < bestSq {
+			best, bestSq = k, sq
+		}
+	}
+	return best, bestSq
+}
+
+// argmin6 is the width-6 specialization (d=5 query spaces).
+func argmin6(flat, q []float64, best int, bestSq float64) (int, float64) {
+	q0, q1, q2, q3, q4, q5 := q[0], q[1], q[2], q[3], q[4], q[5]
+	for k, base := 0, 0; base+6 <= len(flat); k, base = k+1, base+6 {
+		row := flat[base : base+6 : base+6]
+		d0 := row[0] - q0
+		d1 := row[1] - q1
+		d2 := row[2] - q2
+		d3 := row[3] - q3
+		d4 := row[4] - q4
+		d5 := row[5] - q5
+		if sq := (d0*d0 + d1*d1) + (d2*d2 + d3*d3) + (d4*d4 + d5*d5); sq < bestSq {
+			best, bestSq = k, sq
+		}
+	}
+	return best, bestSq
+}
+
+// argmin7 is the width-7 specialization (d=6 query spaces) with a partial-
+// distance cutoff after the first four components.
+func argmin7(flat, q []float64, best int, bestSq float64) (int, float64) {
+	q0, q1, q2, q3, q4, q5, q6 := q[0], q[1], q[2], q[3], q[4], q[5], q[6]
+	for k, base := 0, 0; base+7 <= len(flat); k, base = k+1, base+7 {
+		row := flat[base : base+7 : base+7]
+		d0 := row[0] - q0
+		d1 := row[1] - q1
+		d2 := row[2] - q2
+		d3 := row[3] - q3
+		s := (d0*d0 + d1*d1) + (d2*d2 + d3*d3)
+		if s >= bestSq {
+			continue
+		}
+		d4 := row[4] - q4
+		d5 := row[5] - q5
+		d6 := row[6] - q6
+		if sq := s + (d4*d4 + d5*d5) + d6*d6; sq < bestSq {
+			best, bestSq = k, sq
+		}
+	}
+	return best, bestSq
+}
+
+// argmin8 is the width-8 specialization (d=7 query spaces) with a partial-
+// distance cutoff after the first four components.
+func argmin8(flat, q []float64, best int, bestSq float64) (int, float64) {
+	q0, q1, q2, q3, q4, q5, q6, q7 := q[0], q[1], q[2], q[3], q[4], q[5], q[6], q[7]
+	for k, base := 0, 0; base+8 <= len(flat); k, base = k+1, base+8 {
+		row := flat[base : base+8 : base+8]
+		d0 := row[0] - q0
+		d1 := row[1] - q1
+		d2 := row[2] - q2
+		d3 := row[3] - q3
+		s := (d0*d0 + d1*d1) + (d2*d2 + d3*d3)
+		if s >= bestSq {
+			continue
+		}
+		d4 := row[4] - q4
+		d5 := row[5] - q5
+		d6 := row[6] - q6
+		d7 := row[7] - q7
+		if sq := s + (d4*d4 + d5*d5) + (d6*d6 + d7*d7); sq < bestSq {
 			best, bestSq = k, sq
 		}
 	}

@@ -34,7 +34,7 @@ func TestSqDistanceFlatDimensionMismatch(t *testing.T) {
 
 func TestArgminSqDistance(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	for _, d := range []int{1, 2, 3, 4, 5, 8, 9, 13} {
+	for _, d := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 13} {
 		for _, rows := range []int{1, 2, 7, 100} {
 			flat := make([]float64, rows*d)
 			for i := range flat {

@@ -1,14 +1,63 @@
 #!/usr/bin/env sh
-# bench.sh — run the serving-hot-path benchmarks and record ns/op as JSON.
+# bench.sh — run the serving-hot-path benchmarks and record ns/op as JSON,
+# or diff two recorded runs.
 #
-# Usage: scripts/bench.sh [index]
+# Usage:
+#   scripts/bench.sh [index]
+#       Runs the benchmarks and writes BENCH_<index>.json (default
+#       BENCH_1.json) in the repository root: one entry per benchmark with
+#       its ns/op, plus the GOMAXPROCS the run saw. Successive PRs bump the
+#       index to build a performance trajectory.
 #
-# Writes BENCH_<index>.json (default BENCH_1.json) in the repository root:
-# one entry per benchmark with its ns/op, plus the GOMAXPROCS the run saw.
-# Successive PRs bump the index to build a performance trajectory.
+#   scripts/bench.sh compare NEW.json OLD.json
+#       Prints a per-benchmark delta table between two recorded runs:
+#       benchmarks present in both files are joined by name and reported as
+#       old → new with the speedup (old/new; > 1 means NEW is faster).
+#       Benchmarks present in only one file are listed separately, so a
+#       renamed or newly added benchmark is visible rather than silently
+#       dropped. CI runs this against the latest committed BENCH_n.json.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "compare" ]; then
+    new="${2:?usage: scripts/bench.sh compare NEW.json OLD.json}"
+    old="${3:?usage: scripts/bench.sh compare NEW.json OLD.json}"
+    if [ "$new" = "$old" ]; then
+        echo "compare: $new and $old are the same file"
+        exit 0
+    fi
+    awk -v newfile="$new" -v oldfile="$old" '
+    function trim(s) { gsub(/^[ \t]+|[ \t,]+$/, "", s); return s }
+    # Each benchmark entry line looks like:
+    #   {"name": "Benchmark.../sub", "ns_per_op": 123.4},
+    /"name"/ {
+        line = $0
+        sub(/^.*"name":[ \t]*"/, "", line); name = line; sub(/".*$/, "", name)
+        line = $0
+        sub(/^.*"ns_per_op":[ \t]*/, "", line); ns = trim(line); sub(/[^0-9.eE+-].*$/, "", ns)
+        if (FILENAME == oldfile) { oldns[name] = ns; oldseen[name] = 1 }
+        else { newns[name] = ns; newseen[name] = 1; order[++n] = name }
+    }
+    END {
+        printf "%-64s %12s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup"
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            if (!(name in oldseen)) continue
+            s = (newns[name] > 0) ? oldns[name] / newns[name] : 0
+            printf "%-64s %12.5g %12.5g %8.2fx\n", name, oldns[name], newns[name], s
+        }
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            if (!(name in oldseen)) printf "%-64s %12s %12.5g   (new)\n", name, "-", newns[name]
+        }
+        for (name in oldseen) {
+            if (!(name in newseen)) printf "%-64s %12.5g %12s   (gone)\n", name, oldns[name], "-"
+        }
+    }' "$old" "$new"
+    exit 0
+fi
+
 out="BENCH_${1:-1}.json"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -17,8 +66,11 @@ go test -run '^$' -bench 'BenchmarkWinnerSearch' -benchtime "${WINNER_BENCHTIME:
     ./internal/core/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkOverlapSet|BenchmarkPredictMeanScaling' \
     -benchtime "${OVERLAP_BENCHTIME:-500x}" ./internal/core/ >>"$tmp"
+# BenchmarkReadDuringTraining also matches its Scaled (K=10k) companion.
 go test -run '^$' -bench 'BenchmarkReadDuringTraining' \
     -benchtime "${READ_BENCHTIME:-2000x}" ./internal/core/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkObservePublish|BenchmarkTrainThroughput' \
+    -benchtime "${PUBLISH_BENCHTIME:-2000x}" ./internal/core/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkPredictBatch|BenchmarkServeThroughput' \
     -benchtime "${BATCH_BENCHTIME:-100x}" . >>"$tmp"
 
