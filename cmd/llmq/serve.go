@@ -1,12 +1,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"llmq/internal/core"
@@ -36,9 +40,48 @@ func cmdServe(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveUntil(ctx, s, ln, out, info)
+}
+
+// shutdownTimeout bounds the graceful drain: in-flight handlers get this
+// long to finish after the stop signal before Shutdown gives up.
+const shutdownTimeout = 10 * time.Second
+
+// serveUntil runs the HTTP server on ln until ctx is canceled — SIGINT or
+// SIGTERM in production (cmdServe wires signal.NotifyContext); the smoke
+// test cancels directly — and then shuts down gracefully. ctx doubles as
+// the server's base context, so the request context of every in-flight
+// statement sheet observes the cancellation: the /query/batch worker pools
+// stop claiming statements mid-sheet (the MeanBatchCtx/ForEachParallelCtx
+// plumbing), while http.Server.Shutdown stops the listener and drains the
+// handlers that are finishing up.
+func serveUntil(ctx context.Context, s *serve.Server, ln net.Listener, out io.Writer, info string) error {
 	fmt.Fprintf(out, "llmq: serving %s on http://%s\n", info, ln.Addr())
-	srv := &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
-	return srv.Serve(ln)
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// The listener failed before any shutdown was requested.
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "llmq: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 // buildServer loads the relation (and the model, when given), validates the

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestServeSmoke drives the serve subcommand's construction path end to end
@@ -77,6 +80,74 @@ func TestServeSmoke(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("APPROX without model: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServeGracefulShutdown smokes the serve run loop end to end: a real
+// listener answers requests, then a context cancellation (the SIGINT/
+// SIGTERM path of cmdServe) makes serveUntil drain and return cleanly, and
+// the port stops accepting connections.
+func TestServeGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "r1.csv")
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-dataset", "R1", "-n", "2000", "-dim", "2", "-seed", "5", "-o", data}, &out); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	s, info, err := buildServer(data, "", 0)
+	if err != nil {
+		t.Fatalf("buildServer: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	var serveOut bytes.Buffer
+	go func() { done <- serveUntil(ctx, s, ln, &serveOut, info) }()
+
+	// The server is accepting before serveUntil is asked to stop.
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(url + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("healthz never came up: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	body := `{"sql": ["SELECT AVG(u) FROM r1 WITHIN 0.1 OF (0.5, 0.5)"]}`
+	resp, err = http.Post(url+"/query/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveUntil returned %v after cancellation, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveUntil did not drain within 5s of cancellation")
+	}
+	if !strings.Contains(serveOut.String(), "shutting down") {
+		t.Errorf("serve output %q should announce the shutdown", serveOut.String())
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("the listener should be closed after shutdown")
 	}
 }
 

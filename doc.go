@@ -21,9 +21,9 @@
 // and both the winner search of Eq. (5) and the overlap set W(q) of
 // Eq. (10) — hence whole predictions, not just one subroutine — run as
 // exact sub-O(K) searches: a uniform grid answers nearest and radius
-// queries in low-dimensional query spaces, a Cauchy–Schwarz projection
-// spine in wide ones, with prototype drift between index rebuilds covered
-// by a verified slack budget. Reads are lock-free: training publishes
+// queries in low-dimensional query spaces, a bulk-built implicit-layout
+// k-d tree in wide ones, with prototype drift between index rebuilds
+// covered by a verified slack budget. Reads are lock-free: training publishes
 // immutable copy-on-write snapshots through an atomic pointer, every
 // prediction answers from one consistent published version with zero
 // locking, and Model.View pins a version across calls — the zero-downtime

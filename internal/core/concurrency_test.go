@@ -110,9 +110,10 @@ func winnerLinearScan(llms []*LLM, q Query) (int, float64) {
 }
 
 // TestWinnerMatchesLinearScan is the exactness property test: on random
-// workloads across dimensionalities (covering both the grid-indexed path,
-// d+1 <= 4, and the flat unrolled scan), the store's winner must agree with
-// the linear-scan baseline — same prototype index, or an equal distance when
+// workloads across dimensionalities (covering the grid-indexed path for
+// d+1 <= 4 and the k-d tree path above — including the tree's scan-budget
+// bail on uniform wide workloads), the store's winner must agree with the
+// linear-scan baseline — same prototype index, or an equal distance when
 // several prototypes tie to within reassociation rounding.
 func TestWinnerMatchesLinearScan(t *testing.T) {
 	// Vigilance per dimensionality, small enough that the random workload
@@ -137,6 +138,14 @@ func TestWinnerMatchesLinearScan(t *testing.T) {
 		if dim+1 <= storeGridMaxWidth && m.K() < storeGridMinK {
 			t.Fatalf("dim %d: K=%d too small to exercise the grid path", dim, m.K())
 		}
+		if e := m.snap.Load().epoch; e != nil {
+			if dim+1 <= storeGridMaxWidth && e.grid == nil {
+				t.Fatalf("dim %d: epoch should route to the grid", dim)
+			}
+			if dim+1 > storeGridMaxWidth && e.tree == nil {
+				t.Fatalf("dim %d: epoch should route to the k-d tree", dim)
+			}
+		}
 		for trial := 0; trial < 300; trial++ {
 			q := randQuery(rng, dim)
 			gotIdx, gotDist, err := m.Winner(q)
@@ -152,10 +161,10 @@ func TestWinnerMatchesLinearScan(t *testing.T) {
 	}
 }
 
-// TestWinnerMatchesLinearScanClustered exercises the projection spine's
-// window path (clustered query spaces, where the window actually prunes) and
-// its drift-slack accounting: winners are checked mid-training, while
-// prototypes have drifted since the last spine rebuild, and again after
+// TestWinnerMatchesLinearScanClustered exercises the k-d tree's pruning
+// path (clustered query spaces, where the bounding boxes actually prune)
+// and its drift-slack accounting: winners are checked mid-training, while
+// prototypes have drifted since the last tree rebuild, and again after
 // further training.
 func TestWinnerMatchesLinearScanClustered(t *testing.T) {
 	for _, dim := range []int{5, 8} {
@@ -194,8 +203,11 @@ func TestWinnerMatchesLinearScanClustered(t *testing.T) {
 			// so the winner search must honour the staleness slack.
 			check("mid-training")
 		}
-		if m.K() < storeSpineMinK {
-			t.Fatalf("dim %d: K=%d too small to exercise the spine", dim, m.K())
+		if m.K() < storeTreeMinK {
+			t.Fatalf("dim %d: K=%d too small to exercise the k-d tree", dim, m.K())
+		}
+		if e := m.snap.Load().epoch; e == nil || e.tree == nil {
+			t.Fatalf("dim %d: expected a k-d tree epoch", dim)
 		}
 	}
 }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"llmq/internal/vector"
+)
+
+// The epoch indexes carry fallback paths that are only reachable by
+// pathological inputs — queries or prototype sets with no locality for the
+// index to prune on. The tests here force each of them end to end through
+// the model and assert the answers still match the linear scan: the
+// fallbacks are performance valves, never correctness forks. (The
+// index-level counterparts live in internal/index: the grid's visited-cell
+// budget and the tree's forced bail are unit-forced there.)
+
+// TestOverlapBroadQueryFallsBackToLinear forces the overlap router's
+// broad-query bail: a radius covering most of the space makes the epoch's
+// candidate set exceed K/2 (and, on the grid, the cell box exceed the cell
+// budget), so the router answers with the straight scan. The result must be
+// identical either way — indices and weights.
+func TestOverlapBroadQueryFallsBackToLinear(t *testing.T) {
+	for _, dim := range []int{2, 8} {
+		vig := 0.03
+		if dim > 3 {
+			vig = 0.25
+		}
+		m := buildBenchModel(t, dim, 300, vig, uniformGen(dim))
+		if m.snap.Load().epoch == nil {
+			t.Fatalf("dim %d: no epoch at K=%d", dim, m.K())
+		}
+		rng := rand.New(rand.NewSource(int64(20 + dim)))
+		for trial := 0; trial < 60; trial++ {
+			c := make([]float64, dim)
+			for j := range c {
+				c[j] = rng.Float64()
+			}
+			// θ of several space diameters: every prototype overlaps.
+			q := Query{Center: vector.Of(c...), Theta: 3 + 2*rng.Float64()}
+			checkOverlapAgainstLinear(t, m, q, "broad-query")
+		}
+	}
+}
+
+// TestWinnerNoLocalityBailMatchesLinearScan drives the k-d tree's scan-
+// budget bail through the whole model: prototypes spawned on a thin
+// spherical shell are near-equidistant from the sphere's centre, so no
+// bounding box can prune a query there and the traversal's row budget
+// trips, finishing with the seeded flat scan. The winner must still match
+// the linear scan.
+func TestWinnerNoLocalityBailMatchesLinearScan(t *testing.T) {
+	const dim = 8
+	rng := rand.New(rand.NewSource(31))
+	cfg := DefaultConfig(dim)
+	cfg.Vigilance = 0.01 // every shell point spawns its own prototype
+	cfg.Gamma = 1e-12
+	cfg.MinGammaSteps = 1 << 30
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make([]TrainingPair, 600)
+	for i := range pairs {
+		x := make([]float64, dim)
+		norm := 0.0
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			norm += x[j] * x[j]
+		}
+		scale := (0.35 + 1e-5*rng.Float64()) / math.Sqrt(norm)
+		for j := range x {
+			x[j] = 0.5 + scale*x[j]
+		}
+		pairs[i] = TrainingPair{Query: Query{Center: x, Theta: 0.1}, Answer: rng.NormFloat64()}
+	}
+	if _, err := m.TrainBatch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if m.K() < storeTreeMinK {
+		t.Fatalf("K=%d too small to build a tree epoch", m.K())
+	}
+	if e := m.snap.Load().epoch; e == nil || e.tree == nil {
+		t.Fatal("expected a k-d tree epoch")
+	}
+	llms := m.LLMs()
+	centre := make([]float64, dim)
+	for j := range centre {
+		centre[j] = 0.5
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := append([]float64(nil), centre...)
+		// At and near the centre of the shell: every prototype ties to
+		// within the shell's jitter, so nothing prunes.
+		for j := range x {
+			x[j] += 1e-3 * rng.NormFloat64()
+		}
+		q := Query{Center: x, Theta: 0.1}
+		gotIdx, gotDist, err := m.Winner(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIdx, wantDist := winnerLinearScan(llms, q)
+		if gotIdx != wantIdx && math.Abs(gotDist-wantDist) > 1e-9*(1+wantDist) {
+			t.Fatalf("trial %d: store winner %d (dist %v), linear scan %d (dist %v)",
+				trial, gotIdx, gotDist, wantIdx, wantDist)
+		}
+	}
+}

@@ -13,10 +13,13 @@ import (
 
 // TestPredictionHotPathAllocationFree asserts the steady-state prediction
 // path performs no heap allocation: the scratch pool carries the overlap
-// buffers, the winner search assembles its query point in the scratch, and
-// nothing in between escapes. (Regression and Neighborhood allocate their
-// returned slices by contract; PredictMean, PredictValue and Winner return
-// scalars and must stay clean.)
+// buffers AND the k-d tree traversal stack (the wide path would otherwise
+// allocate a stack per query), the winner search assembles its query point
+// in the scratch, and nothing in between escapes. (Regression and
+// Neighborhood allocate their returned slices by contract; PredictMean,
+// PredictValue and Winner return scalars and must stay clean.) The d=8 case
+// explicitly verifies the tree epoch is the one being exercised, so the
+// assertion cannot silently pass on the flat-scan fallback.
 func TestPredictionHotPathAllocationFree(t *testing.T) {
 	for _, dim := range []int{2, 8} {
 		vig := 0.03
@@ -24,6 +27,11 @@ func TestPredictionHotPathAllocationFree(t *testing.T) {
 			vig = 0.25
 		}
 		m := buildBenchModel(t, dim, 1000, vig, uniformGen(dim))
+		if dim+1 > storeGridMaxWidth {
+			if e := m.snap.Load().epoch; e == nil || e.tree == nil {
+				t.Fatalf("dim %d: expected a k-d tree epoch on the wide path", dim)
+			}
+		}
 		rng := rand.New(rand.NewSource(55))
 		queries := make([]Query, 64)
 		for i := range queries {

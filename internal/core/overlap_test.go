@@ -9,7 +9,7 @@ import (
 )
 
 // checkOverlapAgainstLinear compares the routed overlap set (radius query
-// through the epoch's grid or spine when available) against the linear
+// through the epoch's grid or k-d tree when available) against the linear
 // reference scan on the same snapshot. The two paths verify candidates with
 // identical arithmetic in identical order, so the comparison is exact:
 // same indices, bit-identical weights.
@@ -35,9 +35,9 @@ func checkOverlapAgainstLinear(t *testing.T, m *Model, q Query, stage string) {
 
 // TestOverlapSetMatchesLinearScan is the exactness property test of the
 // radius-query overlap path: across dimensionalities (grid epochs for
-// d+1 ≤ 4, spine epochs above), workload shapes (uniform and clustered),
+// d+1 ≤ 4, k-d tree epochs above), workload shapes (uniform and clustered),
 // and training stages (mid-training with drifted prototypes and un-indexed
-// tails, and after further training), the grid/spine range query must
+// tails, and after further training), the grid/tree range query must
 // reproduce the linear scan's W(q) exactly — indices and weights.
 func TestOverlapSetMatchesLinearScan(t *testing.T) {
 	vigilance := map[int]float64{1: 0.02, 2: 0.05, 3: 0.07, 5: 0.2, 8: 0.3}
@@ -76,6 +76,8 @@ func TestOverlapSetMatchesLinearScan(t *testing.T) {
 			}
 			if s := m.snap.Load(); s.epoch == nil {
 				t.Fatalf("dim %d %s: K=%d never built a read epoch", dim, workload, s.k)
+			} else if dim+1 > storeGridMaxWidth && s.epoch.tree == nil {
+				t.Fatalf("dim %d %s: wide epoch should be a k-d tree", dim, workload)
 			}
 		}
 	}

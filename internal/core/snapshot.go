@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"slices"
-	"sort"
 	"sync"
 
 	"llmq/internal/vector"
@@ -95,14 +94,16 @@ func (s *storeSnapshot) protoQuery(k int) Query {
 }
 
 // predictScratch carries the per-call scratch buffers of the prediction hot
-// path: the assembled query-space point, the radius-query candidate list and
-// the overlap set's index/weight result slices. Instances are pooled so a
-// steady-state prediction performs no heap allocation at all; the buffers
-// only grow, and the pool survives snapshot publication, so a training
-// stream does not cool the serving path down.
+// path: the assembled query-space point, the radius-query candidate list,
+// the k-d tree traversal stack and the overlap set's index/weight result
+// slices. Instances are pooled so a steady-state prediction performs no
+// heap allocation at all; the buffers only grow, and the pool survives
+// snapshot publication, so a training stream does not cool the serving
+// path down.
 type predictScratch struct {
 	qflat   []float64
 	cand    []int
+	kdstack []int32
 	mask    []bool
 	idx     []int
 	weights []float64
@@ -123,7 +124,7 @@ func (s *storeSnapshot) winnerQuery(q Query, sc *predictScratch) (int, float64) 
 	qflat := sc.qvec(s.width)
 	copy(qflat, q.Center)
 	qflat[s.width-1] = q.Theta
-	k, sq := winnerOn(s.epoch, s.chunked(), qflat, s.slack)
+	k, sq := winnerOn(s.epoch, s.chunked(), qflat, s.slack, &sc.kdstack)
 	return k, math.Sqrt(sq)
 }
 
@@ -187,12 +188,12 @@ const overlapEps = 1e-12
 // once θ_k is bounded by maxTheta: every overlapping prototype lies within
 // R = θ + maxTheta of x, hence within rq = √(R² + max(θ, maxTheta)²) of
 // [x, θ] in the query space, and within rq + slack of its own stale epoch
-// position. The grid enumerates the cells covering that ball; the spine
-// takes the Cauchy–Schwarz projection window |proj − proj(q)| ≤ √w·(rq +
-// slack). Every candidate is then verified on the snapshot's live rows with
-// exactly the linear scan's arithmetic, in ascending prototype order, so
-// indices, weights and their normalization match overlapLinear bit for bit.
-// Rows appended after the epoch build (the tail) are scanned directly.
+// position. The grid enumerates the cells covering that ball; the k-d tree
+// collects every leaf whose bounding box the ball touches. Every candidate
+// is then verified on the snapshot's live rows with exactly the linear
+// scan's arithmetic, in ascending prototype order, so indices, weights and
+// their normalization match overlapLinear bit for bit. Rows appended after
+// the epoch build (the tail) are scanned directly.
 func (s *storeSnapshot) overlapSet(q Query, sc *predictScratch) (idx []int, weights []float64) {
 	e := s.epoch
 	if e == nil {
@@ -212,14 +213,11 @@ func (s *storeSnapshot) overlapSet(q Query, sc *predictScratch) (idx []int, weig
 	if e.grid != nil {
 		cand = e.grid.Range(qflat, rq, cand)
 	} else {
-		qproj := projection(qflat)
-		radius := math.Sqrt(float64(e.width)) * rq
-		radius += radius * overlapEps
-		lo := sort.SearchFloat64s(e.proj, qproj-radius)
-		hi := sort.SearchFloat64s(e.proj, qproj+radius)
-		for i := lo; i < hi; i++ {
-			cand = append(cand, e.ids[i])
-		}
+		// Cap the enumeration at the router's own bail threshold: once the
+		// candidates reach K/2 the code below answers with the straight scan
+		// anyway, so a space-covering query must not pay a full verified
+		// traversal whose output is discarded.
+		cand, sc.kdstack = e.tree.Range(qflat, rq, cand, sc.kdstack, s.k/2)
 	}
 	sc.cand = cand
 	tail := s.k - e.builtK
@@ -232,10 +230,10 @@ func (s *storeSnapshot) overlapSet(q Query, sc *predictScratch) (idx []int, weig
 	idx, weights = sc.idx[:0], sc.weights[:0]
 	var total float64
 	if len(cand) >= e.builtK/16 {
-		// Too many candidates for a sort to beat a sweep (the spine window
-		// prunes weakly on workloads without projection locality): mark them
-		// in a mask and sweep the built rows in id order — same verification
-		// arithmetic, same accumulation order, a fraction of the cost.
+		// Too many candidates for a sort to beat a sweep (a broad radius, or
+		// grid cell boxes much wider than the ball): mark them in a mask and
+		// sweep the built rows in id order — same verification arithmetic,
+		// same accumulation order, a fraction of the cost.
 		if cap(sc.mask) < e.builtK {
 			sc.mask = make([]bool, e.builtK)
 		}

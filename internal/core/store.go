@@ -1,8 +1,8 @@
 package core
 
 import (
+	"fmt"
 	"math"
-	"sort"
 
 	"llmq/internal/index"
 	"llmq/internal/vector"
@@ -57,10 +57,10 @@ const (
 // pointer between the store and every snapshot published since the rebuild.
 // Width ≤ 4 query spaces get a uniform grid (cell side 2ρ — prototypes are
 // at least ρ apart, so cells hold only a handful and ring expansion stops
-// after one or two rings); wider spaces get the projection spine (rows
-// sorted by their component sum; by Cauchy–Schwarz
-// |sum(a) − sum(b)| ≤ √w·‖a−b‖₂, so a sorted-array window bounds every
-// candidate set).
+// after one or two rings); wider spaces get a bulk-built implicit-layout
+// k-d tree (median splits, ~32–64-row leaves stored contiguously, exact
+// per-node bounding boxes — see index.BulkKDTree), whose box bounds keep
+// discriminating where 1-D projections concentrate.
 //
 // Between rebuilds the epoch is stale: prototypes drift and new ones are
 // appended. Staleness never breaks exactness. Appended rows live in the
@@ -101,7 +101,9 @@ type protoStore struct {
 	maxDrift float64    // max over drift
 	maxTheta float64    // monotone upper bound on θ_k, tightened per rebuild
 
-	qbuf []float64 // winnerQuery scratch (single writer)
+	qbuf     []float64 // winnerQuery scratch (single writer)
+	kdstack  []int32   // k-d tree traversal scratch (single writer)
+	staleBuf []float64 // rebuildEpoch stale-row gather scratch (single writer)
 }
 
 // chunkTable is the chunk-layout decoder shared by the writer-side store
@@ -147,11 +149,11 @@ func (t *chunkTable) setWin(k, wins int) {
 }
 
 // readEpoch is one immutable generation of the search index: either a
-// uniform grid or a projection spine over a stale copy of the first builtK
-// prototype rows. It is built on the write path and never mutated, so the
-// store and any number of published snapshots reference it concurrently
-// without synchronization; each referencer pairs it with its own live chunk
-// table and its own drift slack.
+// uniform grid or a bulk-built k-d tree over a stale copy of the first
+// builtK prototype rows. It is built on the write path and never mutated,
+// so the store and any number of published snapshots reference it
+// concurrently without synchronization; each referencer pairs it with its
+// own live chunk table and its own drift slack.
 type readEpoch struct {
 	builtK int
 	width  int
@@ -159,26 +161,26 @@ type readEpoch struct {
 	// grid indexes the stale rows for width ≤ storeGridMaxWidth.
 	grid *index.DynamicGrid
 
-	// The projection spine (wider spaces): stale projections sorted
-	// ascending, the prototype ids in that order, and the stale rows
-	// themselves copied contiguously in that order.
-	proj []float64
-	ids  []int
-	flat []float64
+	// tree indexes the stale rows for wider query spaces, where the grid's
+	// ring enumeration outgrows the flat scan: an implicit-layout k-d tree
+	// whose exact per-node bounding boxes keep discriminating as the width
+	// grows (the 1-D projection spine that used to live here concentrated
+	// at d=8 and pruned weakly — see PERFORMANCE.md).
+	tree *index.BulkKDTree
 }
 
 const (
 	// storeGridMaxWidth bounds the query-space dimensionality (d+1) for
 	// which the ring-expanding grid search is profitable; above it the ring
-	// enumeration outgrows the flat scan and the store uses the projection
-	// spine instead.
+	// enumeration outgrows the flat scan and the store uses the k-d tree
+	// instead.
 	storeGridMaxWidth = 4
 	// storeGridMinK is the prototype count below which the flat scan beats
 	// the grid's hashing overhead.
 	storeGridMinK = 64
-	// storeSpineMinK is the prototype count below which the plain flat scan
-	// beats the spine's binary search and window bookkeeping.
-	storeSpineMinK = 128
+	// storeTreeMinK is the prototype count below which the plain flat scan
+	// beats the k-d tree's node bookkeeping.
+	storeTreeMinK = 128
 )
 
 func newProtoStore(dim int, vigilance float64) *protoStore {
@@ -228,7 +230,7 @@ func (s *protoStore) minEpochK() int {
 	if s.width <= storeGridMaxWidth {
 		return storeGridMinK
 	}
-	return storeSpineMinK
+	return storeTreeMinK
 }
 
 // add appends a prototype row (with a zeroed coefficient row — the caller
@@ -303,23 +305,12 @@ func (s *protoStore) maybeRebuildEpoch() {
 	}
 }
 
-// projection is the spine coordinate: the component sum, i.e. the (scaled)
-// projection onto the unit diagonal. By Cauchy–Schwarz,
-// |sum(a) − sum(b)| ≤ √w·‖a−b‖₂, so points close in the query space are
-// necessarily close in projection.
-func projection(row []float64) float64 {
-	var s float64
-	for _, v := range row {
-		s += v
-	}
-	return s
-}
-
 // rebuildEpoch snapshots all current prototype rows into a fresh immutable
-// index (grid or spine by width), resets the drift budget, and re-tightens
-// the max-θ bound exactly. It reads the live chunks row by row; the epoch's
-// own storage is contiguous (grid rows / spine-ordered matrix), so searches
-// against the stale copy keep their flat-scan cache behaviour.
+// index (grid or k-d tree by width), resets the drift budget, and
+// re-tightens the max-θ bound exactly. It reads the live chunks row by row;
+// the epoch's own storage is contiguous (grid rows / leaf-ordered tree
+// matrix), so searches against the stale copy keep their flat-scan cache
+// behaviour.
 func (s *protoStore) rebuildEpoch() {
 	k := s.rows
 	w := s.width
@@ -327,29 +318,33 @@ func (s *protoStore) rebuildEpoch() {
 	if w <= storeGridMaxWidth {
 		// Constructor and Insert cannot fail: the width is positive, the
 		// cell size was validated with the config, and every row matches the
-		// grid dimension by construction.
+		// grid dimension by construction. A failure means that invariant
+		// broke — surface it instead of silently serving O(K) scans forever.
 		g, err := index.NewDynamicGrid(w, 2*s.vigilance)
 		if err != nil {
-			return
+			panic(fmt.Sprintf("core: epoch grid build invariant broken: %v", err))
 		}
 		for i := 0; i < k; i++ {
 			_, _ = g.Insert(s.row(i))
 		}
 		e.grid = g
 	} else {
-		e.proj = make([]float64, k)
-		e.ids = make([]int, k)
-		e.flat = make([]float64, k*w)
-		proj := make([]float64, k)
+		if cap(s.staleBuf) < k*w {
+			s.staleBuf = make([]float64, k*w, 2*k*w)
+		}
+		stale := s.staleBuf[:k*w]
 		for i := 0; i < k; i++ {
-			e.ids[i] = i
-			proj[i] = projection(s.row(i))
+			copy(stale[i*w:(i+1)*w], s.row(i))
 		}
-		sort.Slice(e.ids, func(a, b int) bool { return proj[e.ids[a]] < proj[e.ids[b]] })
-		for i, id := range e.ids {
-			e.proj[i] = proj[id]
-			copy(e.flat[i*w:(i+1)*w], s.row(id))
+		// The constructor cannot fail: the width is positive and the stale
+		// copy is non-empty (k ≥ minEpochK) with k×w values by construction.
+		// A failure means that invariant broke — surface it instead of
+		// silently serving O(K) scans forever.
+		t, err := index.NewBulkKDTree(stale, w)
+		if err != nil {
+			panic(fmt.Sprintf("core: epoch tree build invariant broken: %v", err))
 		}
+		e.tree = t
 	}
 	s.epoch = e
 	if cap(s.drift) < k {
@@ -369,124 +364,35 @@ func (s *protoStore) rebuildEpoch() {
 	s.maxTheta = mt
 }
 
-// storeSpineProbe is how many spine rows around the query's projection are
-// verified up front to seed the window cutoff.
-const storeSpineProbe = 16
-
-// winnerSpineOn finds the exact winner through a projection-spine epoch in
-// three steps. (1) Seed: the rows appended since the epoch build (the
-// trailing chunks of the live matrix) are scanned exactly, and the
-// storeSpineProbe spine rows whose projections bracket the query's are
-// verified — projection proximity correlates with spatial proximity, so the
-// seed distance is near-optimal. (2) Window: any row that could still beat
-// the seed must have live distance ≤ seedDist, hence stale distance ≤
-// C := seedDist + slack, and by Cauchy–Schwarz a stale projection within
-// √w·C of the query's — one sorted-array search on each side bounds the
-// candidate range. (3) Verify: the window's stale rows are scanned
-// contiguously with the C² cutoff kernel, and the few survivors are checked
-// against their live rows. Every bound carries the slack, so prototype
-// drift since the epoch build can widen the window but never hide the true
-// winner. live is the referencer's chunk table (the store's for the writer,
-// the snapshot's shared table for a reader); slack is its drift budget
-// relative to the epoch.
-func winnerSpineOn(e *readEpoch, live vector.Chunked, qflat []float64, slack float64) (int, float64) {
-	w := e.width
-	built := e.builtK
-	best, bestSq := vector.ArgminSqDistanceChunkedRange(live, qflat, built, -1, math.Inf(1))
-	if best < 0 {
-		bestSq = math.Inf(1)
-	}
-	qproj := projection(qflat)
-	pos := sort.SearchFloat64s(e.proj, qproj)
-	plo, phi := pos-storeSpineProbe, pos+storeSpineProbe
-	if plo < 0 {
-		plo = 0
-	}
-	if phi > built {
-		phi = built
-	}
-	// Probe the stale snapshots (contiguous memory — no gather through the
-	// id table) and promote the best probe to a live seed: when nothing has
-	// drifted the snapshot is the live row, otherwise one gather verifies
-	// it.
-	staleSeedSq, probeBest := math.Inf(1), -1
-	for i := plo; i < phi; i++ {
-		if sq := vector.SqDistanceFlat(e.flat[i*w:(i+1)*w], qflat); sq < staleSeedSq {
-			staleSeedSq, probeBest = sq, i
-		}
-	}
-	if probeBest >= 0 {
-		id := e.ids[probeBest]
-		if slack == 0 {
-			if staleSeedSq < bestSq {
-				best, bestSq = id, staleSeedSq
-			}
-		} else if sq := vector.SqDistanceFlat(live.Row(id), qflat); sq < bestSq {
-			best, bestSq = id, sq
-		}
-	}
-	// The winner's stale distance overstates its live one by at most slack,
-	// and its live distance is bounded by the (live) seed's.
-	cutoff := math.Sqrt(bestSq) + slack
-	cutoffSq := cutoff * cutoff
-	radius := math.Sqrt(float64(w)) * cutoff
-	lo := sort.SearchFloat64s(e.proj, qproj-radius)
-	hi := sort.SearchFloat64s(e.proj, qproj+radius)
-	if hi-lo >= built/2 {
-		// The window prunes too little to beat a straight scan — the
-		// workload has no projection locality here (e.g. near-uniform
-		// prototypes in a wide query space, where 1-D projections
-		// concentrate). The probes still pay for themselves: they seed the
-		// chunked scan's partial-distance cutoff.
-		if best >= 0 {
-			return vector.ArgminSqDistanceChunkedSeeded(live, qflat, best, bestSq)
-		}
-		return vector.ArgminSqDistanceChunked(live, qflat)
-	}
-	for i := lo; i < hi; i++ {
-		staleSq, within := vector.SqDistanceWithin(e.flat[i*w:(i+1)*w], qflat, cutoffSq)
-		if !within {
-			continue
-		}
-		id := e.ids[i]
-		if slack == 0 {
-			// No prototype has moved since the rebuild: the stale row is
-			// the live row.
-			if staleSq < bestSq {
-				best, bestSq = id, staleSq
-			}
-			continue
-		}
-		if sq := vector.SqDistanceFlat(live.Row(id), qflat); sq < bestSq {
-			best, bestSq = id, sq
-		}
-	}
-	return best, bestSq
-}
-
 // winnerOn returns the index of the prototype closest to the query-space
 // point qflat = [x..., θ] among the live rows of the chunk table, and the
-// squared L2 distance to it, using the epoch's index when one exists. All
-// paths verify candidates with the same unrolled kernels and return a true
-// minimum: the grid and chunked scans break ties toward the lowest index,
-// while the spine keeps its seed on exact ties, so under ties the paths can
-// return different (equidistant) winners — the distance, and hence the
-// vigilance test, is identical either way.
-func winnerOn(e *readEpoch, live vector.Chunked, qflat []float64, slack float64) (int, float64) {
+// squared L2 distance to it, using the epoch's index when one exists. Rows
+// appended since the epoch build (the trailing chunks of the live matrix)
+// are scanned exactly first and seed the indexed search. stack carries the
+// k-d tree traversal scratch (the store's own buffer for the writer, the
+// prediction scratch pool's for readers), so the hot path allocates
+// nothing. All paths verify candidates with the same unrolled kernels and
+// return a true minimum: the grid and chunked scans break ties toward the
+// lowest index, while the tree visits rows in leaf order, so under ties the
+// paths can return different (equidistant) winners — the distance, and
+// hence the vigilance test, is identical either way.
+func winnerOn(e *readEpoch, live vector.Chunked, qflat []float64, slack float64, stack *[]int32) (int, float64) {
 	if e == nil {
 		return vector.ArgminSqDistanceChunked(live, qflat)
 	}
+	built := e.builtK
+	best, bestSq := vector.ArgminSqDistanceChunkedRange(live, qflat, built, -1, math.Inf(1))
 	if e.grid != nil {
-		built := e.builtK
-		best, bestSq := vector.ArgminSqDistanceChunkedRange(live, qflat, built, -1, math.Inf(1))
 		return e.grid.NearestStale(qflat, slack, live, best, bestSq)
 	}
-	return winnerSpineOn(e, live, qflat, slack)
+	var sq float64
+	best, sq, *stack = e.tree.NearestStale(qflat, slack, live, best, bestSq, *stack)
+	return best, sq
 }
 
 // winner returns the winner over the store's live rows.
 func (s *protoStore) winner(qflat []float64) (int, float64) {
-	return winnerOn(s.epoch, s.liveView(), qflat, s.maxDrift)
+	return winnerOn(s.epoch, s.liveView(), qflat, s.maxDrift, &s.kdstack)
 }
 
 // winnerQuery is the Query-typed entry point: it assembles the query-space
@@ -522,10 +428,10 @@ func (s *protoStore) publish(dim, steps int, converged bool, lastGamma float64) 
 		chunkTable: chunkTable{width: s.width, coefW: s.coefW, dataC: dataC},
 		k:          s.rows,
 		epoch:      s.epoch,
-		slack:     s.maxDrift,
-		maxTheta:  s.maxTheta,
-		steps:     steps,
-		converged: converged,
-		lastGamma: lastGamma,
+		slack:      s.maxDrift,
+		maxTheta:   s.maxTheta,
+		steps:      steps,
+		converged:  converged,
+		lastGamma:  lastGamma,
 	}
 }

@@ -89,13 +89,13 @@ func buildBenchModel(tb testing.TB, dim, protos int, vigilance float64, gen quer
 }
 
 // BenchmarkWinnerSearch compares the store-backed winner search (grid-
-// indexed for d+1 <= 4, projection-spine/flat-kernel above) against the
-// pre-change implementation — winnerLinearScan, the verbatim old code —
-// running on the live []*LLM slice it used to run on. This is the
-// apples-to-apples measurement behind the ≥3× acceptance criterion;
-// scripts/bench.sh records it. d=8-uniform is the adversarial shape (no
-// projection locality, so the spine bails to the seeded flat scan);
-// d=8-clustered is the paper's query-locality regime.
+// indexed for d+1 <= 4, k-d tree above) against the pre-change
+// implementation — winnerLinearScan, the verbatim old code — running on the
+// live []*LLM slice it used to run on. This is the apples-to-apples
+// measurement behind the ≥3× acceptance criterion; scripts/bench.sh
+// records it. d=8-uniform is the adversarial shape (little locality for the
+// tree boxes to prune on, the scan-budget bail regime); d=4/d=8-clustered
+// is the paper's query-locality regime across the tree's width range.
 func BenchmarkWinnerSearch(b *testing.B) {
 	cases := []struct {
 		name      string
@@ -104,6 +104,7 @@ func BenchmarkWinnerSearch(b *testing.B) {
 		gen       queryGen
 	}{
 		{"d=2", 2, 0.03, uniformGen(2)},
+		{"d=4-clustered", 4, 0.05, clusteredGen(4, 150, 0.05, 5)},
 		{"d=8-uniform", 8, 0.25, uniformGen(8)},
 		{"d=8-clustered", 8, 0.08, clusteredGen(8, 150, 0.05, 5)},
 	}
@@ -202,13 +203,15 @@ func buildOverlapBenchCases() []overlapBenchCase {
 		mk("d=2-uniform/K=10k", 2, 10000, 0.008, 0, 1.2, 2.4),
 		mk("d=2-clustered/K=1k", 2, 1000, 0.018, 150, 1.2, 2.4),
 		mk("d=2-clustered/K=10k", 2, 10000, 0.0055, 150, 1.2, 2.4),
+		mk("d=4-clustered/K=1k", 4, 1000, 0.05, 150, 0.5, 1.0),
+		mk("d=4-clustered/K=10k", 4, 10000, 0.03, 150, 0.5, 1.0),
 		mk("d=8-clustered/K=1k", 8, 1000, 0.15, 150, 0.5, 1.0),
 		mk("d=8-clustered/K=10k", 8, 10000, 0.035, 150, 0.5, 1.0),
 	}
 }
 
 // BenchmarkOverlapSet compares the epoch radius-query overlap path (grid
-// cells for d=2, Cauchy–Schwarz projection window for d=8) against the
+// cells for d=2, k-d tree leaf collection for d=4/d=8) against the
 // pre-change full scan, on the same published snapshot. Both produce
 // identical indices and weights (TestOverlapSetMatchesLinearScan); only the
 // candidate enumeration differs. This is the measurement behind the ≥3×
@@ -257,6 +260,28 @@ func BenchmarkPredictMeanScaling(b *testing.B) {
 				if _, err := m.PredictMean(queries[i%len(queries)]); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkEpochRebuild measures the cost of one read-epoch rebuild — the
+// amortized write-path price behind every indexed read: the grid insert
+// loop at d=2, and the k-d tree bulk build (stale-row gather, median-split
+// quickselect, leaf reorder, bottom-up boxes) at d=4 and d=8, each over
+// K=10k live rows. Rebuilds fire on the write path once the un-indexed
+// tail reaches K/8 or the drift budget nears the prototype spacing, so
+// per-pair amortization is this cost divided by at least K/8 pairs.
+func BenchmarkEpochRebuild(b *testing.B) {
+	for _, tc := range overlapBenchCases {
+		if tc.K < 10000 {
+			continue
+		}
+		m := buildBenchModel(b, tc.dim, tc.K, tc.vig, tc.gen)
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.store.rebuildEpoch()
 			}
 		})
 	}

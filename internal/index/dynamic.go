@@ -391,12 +391,7 @@ func (g *DynamicGrid) Range(q []float64, r float64, out []int) []int {
 		}
 	}
 	if cells > budget {
-		for id := 0; id < len(g.keys); id++ {
-			if _, within := vector.SqDistanceWithin(g.flat[id*g.dim:(id+1)*g.dim], q, cutoffSq); within {
-				out = append(out, id)
-			}
-		}
-		return out
+		return vector.AppendWithin(g.flat, g.dim, q, cutoffSq, 0, out)
 	}
 	copy(coord, lo)
 	for {

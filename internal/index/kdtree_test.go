@@ -1,0 +1,362 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"llmq/internal/vector"
+)
+
+// randRows produces n random rows of the given dimensionality in [0,1)^dim.
+func randRows(rng *rand.Rand, n, dim int) []float64 {
+	flat := make([]float64, n*dim)
+	for i := range flat {
+		flat[i] = rng.Float64()
+	}
+	return flat
+}
+
+// clusteredRows produces rows concentrated on a handful of Gaussian blobs —
+// the workload shape the tree's bounding boxes prune on.
+func clusteredRows(rng *rand.Rand, n, dim, clusters int, sigma float64) []float64 {
+	centers := randRows(rng, clusters, dim)
+	flat := make([]float64, n*dim)
+	for i := 0; i < n; i++ {
+		ci := rng.Intn(clusters)
+		for j := 0; j < dim; j++ {
+			flat[i*dim+j] = centers[ci*dim+j] + sigma*rng.NormFloat64()
+		}
+	}
+	return flat
+}
+
+// checkTreeInvariants asserts the structural invariants of a built tree:
+// ids is a permutation of [0,n), node spans tile correctly (each internal
+// node's children partition its span, leaves partition [0,n)), and every
+// node's bounding box contains its rows (hence, transitively, its
+// children's boxes).
+func checkTreeInvariants(t *testing.T, tree *BulkKDTree, src []float64) {
+	t.Helper()
+	d := tree.dim
+	n := tree.n
+	seen := make([]bool, n)
+	for _, id := range tree.ids {
+		if id < 0 || int(id) >= n || seen[id] {
+			t.Fatalf("ids is not a permutation: id %d", id)
+		}
+		seen[id] = true
+	}
+	for i, id := range tree.ids {
+		for j := 0; j < d; j++ {
+			if tree.flat[i*d+j] != src[int(id)*d+j] {
+				t.Fatalf("row %d is not source row %d", i, id)
+			}
+		}
+	}
+	if sp := tree.nodes[0]; sp.start != 0 || int(sp.end) != n {
+		t.Fatalf("root span [%d,%d), want [0,%d)", sp.start, sp.end, n)
+	}
+	for node := range tree.nodes {
+		sp := tree.nodes[node]
+		if sp.start > sp.end {
+			t.Fatalf("node %d span inverted: [%d,%d)", node, sp.start, sp.end)
+		}
+		if node < tree.leaf1 {
+			l, r := tree.nodes[2*node+1], tree.nodes[2*node+2]
+			if l.start != sp.start || l.end != r.start || r.end != sp.end {
+				t.Fatalf("node %d children do not partition its span: [%d,%d) vs [%d,%d)+[%d,%d)",
+					node, sp.start, sp.end, l.start, l.end, r.start, r.end)
+			}
+		} else if n > kdLeafRowsMax && int(sp.end-sp.start) > kdLeafRowsMax {
+			t.Fatalf("leaf %d holds %d rows, max %d", node, sp.end-sp.start, kdLeafRowsMax)
+		}
+		box := tree.boxes[node*2*d : (node+1)*2*d]
+		for rr := int(sp.start); rr < int(sp.end); rr++ {
+			for j := 0; j < d; j++ {
+				v := tree.flat[rr*d+j]
+				if v < box[j] || v > box[d+j] {
+					t.Fatalf("node %d box excludes its row %d axis %d: %v outside [%v,%v]",
+						node, rr, j, v, box[j], box[d+j])
+				}
+			}
+		}
+	}
+}
+
+func TestBulkKDTreeBuildInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 63, 64, 65, 200, 1000} {
+		for _, dim := range []int{1, 5, 9} {
+			src := randRows(rng, n, dim)
+			tree, err := NewBulkKDTree(src, dim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkTreeInvariants(t, tree, src)
+		}
+	}
+}
+
+// bruteRange returns the sorted ids within r of q over the flat rows.
+func bruteRange(flat []float64, dim int, q []float64, r float64) []int {
+	var ids []int
+	for i := 0; i*dim < len(flat); i++ {
+		if vector.SqDistanceFlat(flat[i*dim:(i+1)*dim], q) <= r*r {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// TestBulkKDTreeRangeMatchesLinear is the Range exactness property test:
+// every id within r must be reported, and nothing farther than the
+// documented one-sided rounding widening.
+func TestBulkKDTreeRangeMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct {
+		n, dim int
+		rows   []float64
+	}{
+		{500, 9, randRows(rng, 500, 9)},
+		{1000, 9, clusteredRows(rng, 1000, 9, 20, 0.05)},
+		{300, 5, randRows(rng, 300, 5)},
+	} {
+		tree, err := NewBulkKDTree(tc.rows, tc.dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stack []int32
+		var got []int
+		for trial := 0; trial < 200; trial++ {
+			q := randRows(rng, 1, tc.dim)
+			r := 0.4 * rng.Float64()
+			got, stack = tree.Range(q, r, got[:0], stack, 0)
+			// The capped variant may stop early but must report a prefix-
+			// complete set: at least min(cap, full) ids, never more than full.
+			var capped []int
+			capped, stack = tree.Range(q, r, nil, stack, 5)
+			if wantLen := min(5, len(got)); len(capped) < wantLen || len(capped) > len(got) {
+				t.Fatalf("n=%d trial %d: capped Range returned %d ids, full %d", tc.n, trial, len(capped), len(got))
+			}
+			sort.Ints(got)
+			want := bruteRange(tc.rows, tc.dim, q, r)
+			i := 0
+			for _, id := range want {
+				for i < len(got) && got[i] < id {
+					// An extra candidate is permitted only within the eps
+					// widening of the boundary.
+					sq := vector.SqDistanceFlat(tc.rows[got[i]*tc.dim:(got[i]+1)*tc.dim], q)
+					if sq > r*r*(1+2*rangeBoxEps) {
+						t.Fatalf("n=%d trial %d: Range reported id %d at sq %v, r²=%v", tc.n, trial, got[i], sq, r*r)
+					}
+					i++
+				}
+				if i >= len(got) || got[i] != id {
+					t.Fatalf("n=%d trial %d: Range missed id %d within r=%v", tc.n, trial, id, r)
+				}
+				i++
+			}
+		}
+	}
+}
+
+// sqClose reports whether two squared distances agree to within kernel
+// reassociation rounding — the repo-wide winner tolerance: the unrolled
+// argmin specializations and SqDistanceFlat group their partial sums
+// differently, so equidistant (or duplicated) rows can differ in the final
+// ulps between the two paths.
+func sqClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(b))
+}
+
+// bruteNearest returns the linear-scan argmin (lowest id on ties) and the
+// squared distance, over the flat rows.
+func bruteNearest(flat []float64, dim int, q []float64) (int, float64) {
+	best, bestSq := -1, math.Inf(1)
+	for i := 0; i*dim < len(flat); i++ {
+		if sq := vector.SqDistanceFlat(flat[i*dim:(i+1)*dim], q); sq < bestSq {
+			best, bestSq = i, sq
+		}
+	}
+	return best, bestSq
+}
+
+// TestBulkKDTreeNearestStaleMatchesLinear covers all three staleness
+// regimes of NearestStale: stored rows are the live rows (zero Chunked, no
+// slack), live rows drifted within a slack budget, and a seeded search
+// (the caller's un-indexed tail candidate). In every case the returned
+// distance must equal the brute-force scan's over the live rows.
+func TestBulkKDTreeNearestStaleMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dim := range []int{5, 9} {
+		const n = 800
+		src := clusteredRows(rng, n, dim, 25, 0.04)
+		tree, err := NewBulkKDTree(src, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drift every live row by at most slack from its stale position.
+		const slack = 0.03
+		drifted := append([]float64(nil), src...)
+		for i := 0; i < n; i++ {
+			norm := 0.0
+			delta := make([]float64, dim)
+			for j := range delta {
+				delta[j] = rng.NormFloat64()
+				norm += delta[j] * delta[j]
+			}
+			scale := slack * rng.Float64() / math.Sqrt(norm)
+			for j := range delta {
+				drifted[i*dim+j] += scale * delta[j]
+			}
+		}
+		live := vector.ChunkedFromFlat(drifted, dim)
+		var stack []int32
+		for trial := 0; trial < 300; trial++ {
+			q := randRows(rng, 1, dim)
+			// Stale == live.
+			var gotSq float64
+			var got int
+			got, gotSq, stack = tree.NearestStale(q, 0, vector.Chunked{}, -1, 0, stack)
+			want, wantSq := bruteNearest(src, dim, q)
+			if got != want && !sqClose(gotSq, wantSq) {
+				t.Fatalf("dim %d trial %d stale==live: got (%d, %v), want (%d, %v)", dim, trial, got, gotSq, want, wantSq)
+			}
+			// Drifted live rows under the slack budget.
+			got, gotSq, stack = tree.NearestStale(q, slack, live, -1, 0, stack)
+			want, wantSq = bruteNearest(drifted, dim, q)
+			if got != want && !sqClose(gotSq, wantSq) {
+				t.Fatalf("dim %d trial %d drifted: got (%d, %v), want (%d, %v)", dim, trial, got, gotSq, want, wantSq)
+			}
+			// Seeded with a random live candidate (the tail-scan contract).
+			seed := rng.Intn(n)
+			seedSq := vector.SqDistanceFlat(live.Row(seed), q)
+			got, gotSq, stack = tree.NearestStale(q, slack, live, seed, seedSq, stack)
+			if got != want && !sqClose(gotSq, wantSq) {
+				t.Fatalf("dim %d trial %d seeded: got (%d, %v), want (%d, %v)", dim, trial, got, gotSq, want, wantSq)
+			}
+		}
+	}
+}
+
+// TestBulkKDTreeBailMatchesLinear forces the traversal's scan-budget bail —
+// the "no locality" fallback — both artificially (budget shrunk to zero, so
+// the first leaf trips it) and naturally (points near-equidistant from the
+// query, which no box can prune), and asserts the answer still matches the
+// linear scan exactly.
+func TestBulkKDTreeBailMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, dim = 600, 9
+	src := randRows(rng, n, dim)
+	live := vector.ChunkedFromFlat(src, dim)
+
+	forced, err := NewBulkKDTree(src, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced.bailRows = 0 // any leaf visit exceeds the budget
+	var stack []int32
+	for trial := 0; trial < 200; trial++ {
+		q := randRows(rng, 1, dim)
+		want, wantSq := bruteNearest(src, dim, q)
+		var got int
+		var gotSq float64
+		got, gotSq, stack = forced.NearestStale(q, 0, vector.Chunked{}, -1, 0, stack)
+		if got != want && !sqClose(gotSq, wantSq) {
+			t.Fatalf("trial %d forced bail (stale==live): got (%d, %v), want (%d, %v)", trial, got, gotSq, want, wantSq)
+		}
+		got, gotSq, stack = forced.NearestStale(q, 0.01, live, -1, 0, stack)
+		if got != want && !sqClose(gotSq, wantSq) {
+			t.Fatalf("trial %d forced bail (live): got (%d, %v), want (%d, %v)", trial, got, gotSq, want, wantSq)
+		}
+	}
+
+	// Natural trip: points on a sphere around the query are equidistant, so
+	// every box lower bound ties the best and nothing prunes.
+	sphere := make([]float64, n*dim)
+	for i := 0; i < n; i++ {
+		norm := 0.0
+		for j := 0; j < dim; j++ {
+			sphere[i*dim+j] = rng.NormFloat64()
+			norm += sphere[i*dim+j] * sphere[i*dim+j]
+		}
+		scale := (0.5 + 1e-6*rng.Float64()) / math.Sqrt(norm)
+		for j := 0; j < dim; j++ {
+			sphere[i*dim+j] = 0.5 + scale*sphere[i*dim+j]
+		}
+	}
+	natural, err := NewBulkKDTree(sphere, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, dim)
+	for j := range q {
+		q[j] = 0.5
+	}
+	want, wantSq := bruteNearest(sphere, dim, q)
+	got, gotSq, _ := natural.NearestStale(q, 0, vector.Chunked{}, -1, 0, stack)
+	if got != want && !sqClose(gotSq, wantSq) {
+		t.Fatalf("natural bail: got (%d, %v), want (%d, %v)", got, gotSq, want, wantSq)
+	}
+}
+
+// FuzzBulkKDTree fuzzes the build/traverse invariants: arbitrary point
+// sets (derived from the fuzz bytes) must build a structurally sound tree
+// whose Range and NearestStale agree with the linear scan.
+func FuzzBulkKDTree(f *testing.F) {
+	f.Add(int64(1), 10, 3, 0.2)
+	f.Add(int64(2), 200, 9, 0.05)
+	f.Add(int64(3), 65, 5, 1.5)
+	f.Add(int64(4), 1, 1, 0.0)
+	f.Fuzz(func(t *testing.T, seed int64, n, dim int, r float64) {
+		if n <= 0 || n > 2000 || dim <= 0 || dim > 12 {
+			t.Skip()
+		}
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 || r > 1e6 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// Mix uniform coordinates with duplicated rows and constant axes —
+		// the degenerate shapes a median split must survive.
+		src := randRows(rng, n, dim)
+		for i := 0; i < n/4; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			copy(src[a*dim:(a+1)*dim], src[b*dim:(b+1)*dim])
+		}
+		if dim > 1 {
+			ax := rng.Intn(dim)
+			for i := 0; i < n; i++ {
+				src[i*dim+ax] = 0.25
+			}
+		}
+		tree, err := NewBulkKDTree(src, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTreeInvariants(t, tree, src)
+		q := randRows(rng, 1, dim)
+		var stack []int32
+		var got []int
+		got, stack = tree.Range(q, r, got, stack, 0)
+		want := bruteRange(src, dim, q, r)
+		if len(got) < len(want) {
+			t.Fatalf("Range returned %d ids, linear scan %d", len(got), len(want))
+		}
+		member := make(map[int]bool, len(got))
+		for _, id := range got {
+			member[id] = true
+		}
+		for _, id := range want {
+			if !member[id] {
+				t.Fatalf("Range missed id %d", id)
+			}
+		}
+		wantIdx, wantSq := bruteNearest(src, dim, q)
+		gotIdx, gotSq, _ := tree.NearestStale(q, 0, vector.Chunked{}, -1, 0, stack)
+		if gotIdx != wantIdx && !sqClose(gotSq, wantSq) {
+			t.Fatalf("NearestStale (%d, %v), linear scan (%d, %v)", gotIdx, gotSq, wantIdx, wantSq)
+		}
+	})
+}

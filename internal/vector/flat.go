@@ -64,6 +64,70 @@ func SqDistanceWithin(a, b []float64, cutoffSq float64) (float64, bool) {
 	return s, s <= cutoffSq
 }
 
+// AppendWithin appends base+k to out for every row k of the flat row-major
+// matrix whose squared L2 distance to q is at most cutoffSq, and returns the
+// extended slice. It is the range-scan primitive of the grid's budget
+// fallback; AppendWithinIDs is its reordered-matrix variant for the k-d
+// tree's leaf scans. Each row runs through the unrolled partial-distance
+// kernel (SqDistanceWithin), so a row whose leading components already
+// exceed the cutoff is abandoned mid-row.
+func AppendWithin(flat []float64, d int, q []float64, cutoffSq float64, base int, out []int) []int {
+	if d <= 0 {
+		panic("vector: AppendWithin requires positive dimension")
+	}
+	if len(q) != d {
+		panic(dimError("AppendWithin", len(q), d))
+	}
+	rows := len(flat) / d
+	for k := 0; k < rows; k++ {
+		if _, within := SqDistanceWithin(flat[k*d:(k+1)*d], q, cutoffSq); within {
+			out = append(out, base+k)
+		}
+	}
+	return out
+}
+
+// AppendWithinIDs is AppendWithin for reordered matrices: row k's reported
+// index is ids[k] instead of base+k. The k-d tree epoch stores its stale rows
+// leaf-contiguously in build order, so a leaf scan maps its hits back to
+// prototype ids through this variant.
+func AppendWithinIDs(flat []float64, d int, q []float64, cutoffSq float64, ids []int32, out []int) []int {
+	if d <= 0 {
+		panic("vector: AppendWithinIDs requires positive dimension")
+	}
+	if len(q) != d {
+		panic(dimError("AppendWithinIDs", len(q), d))
+	}
+	rows := len(flat) / d
+	if len(ids) < rows {
+		panic("vector: AppendWithinIDs id table shorter than the matrix")
+	}
+	for k := 0; k < rows; k++ {
+		if _, within := SqDistanceWithin(flat[k*d:(k+1)*d], q, cutoffSq); within {
+			out = append(out, int(ids[k]))
+		}
+	}
+	return out
+}
+
+// SqDistanceToBox returns the squared L2 distance from q to the axis-aligned
+// box [lo, hi] — zero when q lies inside. It is the subtree lower bound of
+// the k-d tree traversal: no point inside the box can be closer to q.
+func SqDistanceToBox(q, lo, hi []float64) float64 {
+	if len(q) != len(lo) || len(q) != len(hi) {
+		panic(dimError("SqDistanceToBox", len(q), len(lo)))
+	}
+	var s float64
+	for i, v := range q {
+		if d := lo[i] - v; d > 0 {
+			s += d * d
+		} else if d := v - hi[i]; d > 0 {
+			s += d * d
+		}
+	}
+	return s
+}
+
 // ArgminSqDistance scans the row-major flat matrix (len(flat)/d rows of
 // dimension d) and returns the index of the row closest to q together with
 // the squared L2 distance to it. Ties are broken toward the lowest row

@@ -59,6 +59,82 @@ func TestArgminSqDistance(t *testing.T) {
 	}
 }
 
+func TestAppendWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, d := range []int{1, 3, 5, 9} {
+		for _, rows := range []int{0, 1, 7, 200} {
+			flat := make([]float64, rows*d)
+			for i := range flat {
+				flat[i] = rng.NormFloat64()
+			}
+			ids := make([]int32, rows)
+			for i := range ids {
+				ids[i] = int32(1000 + i)
+			}
+			q := make([]float64, d)
+			for i := range q {
+				q[i] = rng.NormFloat64()
+			}
+			cutoffSq := 2 * rng.Float64() * float64(d)
+			got := AppendWithin(flat, d, q, cutoffSq, 10, []int{-1})
+			gotIDs := AppendWithinIDs(flat, d, q, cutoffSq, ids, nil)
+			want := []int{-1} // AppendWithin extends, never resets
+			for k := 0; k < rows; k++ {
+				if SqDistanceFlat(flat[k*d:(k+1)*d], q) <= cutoffSq {
+					want = append(want, 10+k)
+				}
+			}
+			if len(got) != len(want) || len(gotIDs) != len(want)-1 {
+				t.Fatalf("d=%d rows=%d: AppendWithin %d hits, AppendWithinIDs %d, want %d",
+					d, rows, len(got)-1, len(gotIDs), len(want)-1)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("d=%d rows=%d: AppendWithin[%d]=%d, want %d", d, rows, i, got[i], want[i])
+				}
+				if i > 0 && gotIDs[i-1] != want[i]+990 {
+					t.Fatalf("d=%d rows=%d: AppendWithinIDs[%d]=%d, want %d", d, rows, i-1, gotIDs[i-1], want[i]+990)
+				}
+			}
+		}
+	}
+}
+
+func TestSqDistanceToBox(t *testing.T) {
+	lo := []float64{0, 0, 0}
+	hi := []float64{1, 2, 3}
+	cases := []struct {
+		q    []float64
+		want float64
+	}{
+		{[]float64{0.5, 1, 2}, 0},              // inside
+		{[]float64{0, 2, 3}, 0},                // on a corner
+		{[]float64{-1, 1, 2}, 1},               // below one axis
+		{[]float64{2, 3, 5}, 1 + 1 + 4},        // above all axes
+		{[]float64{-0.5, 2.5, 1}, 0.25 + 0.25}, // mixed sides
+	}
+	for _, tc := range cases {
+		if got := SqDistanceToBox(tc.q, lo, hi); math.Abs(got-tc.want) > 1e-15 {
+			t.Errorf("SqDistanceToBox(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Brute-force cross-check: the box distance is the min squared distance
+	// to any point of the box, which for axis-aligned boxes is attained at
+	// the per-axis clamp.
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 200; trial++ {
+		q := []float64{4 * rng.NormFloat64(), 4 * rng.NormFloat64(), 4 * rng.NormFloat64()}
+		clamped := make([]float64, 3)
+		for j := range clamped {
+			clamped[j] = math.Max(lo[j], math.Min(hi[j], q[j]))
+		}
+		want := SqDistanceFlat(clamped, q)
+		if got := SqDistanceToBox(q, lo, hi); math.Abs(got-want) > 1e-12*(1+want) {
+			t.Fatalf("trial %d: SqDistanceToBox(%v) = %v, clamp says %v", trial, q, got, want)
+		}
+	}
+}
+
 func TestArgminSqDistanceTieBreaksLow(t *testing.T) {
 	// Two identical rows: the scan must return the first.
 	flat := []float64{1, 2, 3, 9, 9, 9, 1, 2, 3}

@@ -6,28 +6,41 @@
 #   scripts/bench.sh [index]
 #       Runs the benchmarks and writes BENCH_<index>.json (default
 #       BENCH_1.json) in the repository root: one entry per benchmark with
-#       its ns/op, plus the GOMAXPROCS the run saw. Successive PRs bump the
-#       index to build a performance trajectory.
+#       its ns/op, plus a header naming the run environment — GOMAXPROCS,
+#       the git commit and the Go version — so a compare can say what it is
+#       comparing. Successive PRs bump the index to build a performance
+#       trajectory.
 #
-#   scripts/bench.sh compare NEW.json OLD.json
+#   scripts/bench.sh compare NEW.json OLD.json [--fail-over PCT [REGEX]]
 #       Prints a per-benchmark delta table between two recorded runs:
 #       benchmarks present in both files are joined by name and reported as
 #       old → new with the speedup (old/new; > 1 means NEW is faster).
 #       Benchmarks present in only one file are listed separately, so a
 #       renamed or newly added benchmark is visible rather than silently
-#       dropped. CI runs this against the latest committed BENCH_n.json.
+#       dropped. With --fail-over, the compare becomes a regression gate:
+#       it exits non-zero when any benchmark whose name matches REGEX
+#       (default: every joined benchmark) is more than PCT percent slower
+#       in NEW than in OLD. CI runs this against the latest committed
+#       BENCH_n.json with a generous threshold — smoke benchtimes are
+#       noisy, so the gate only catches order-of-magnitude regressions.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "compare" ]; then
-    new="${2:?usage: scripts/bench.sh compare NEW.json OLD.json}"
-    old="${3:?usage: scripts/bench.sh compare NEW.json OLD.json}"
+    new="${2:?usage: scripts/bench.sh compare NEW.json OLD.json [--fail-over PCT [REGEX]]}"
+    old="${3:?usage: scripts/bench.sh compare NEW.json OLD.json [--fail-over PCT [REGEX]]}"
+    failover=""
+    failre="."
+    if [ "${4:-}" = "--fail-over" ]; then
+        failover="${5:?--fail-over needs a percentage}"
+        failre="${6:-.}"
+    fi
     if [ "$new" = "$old" ]; then
         echo "compare: $new and $old are the same file"
         exit 0
     fi
-    awk -v newfile="$new" -v oldfile="$old" '
+    awk -v newfile="$new" -v oldfile="$old" -v failover="$failover" -v failre="$failre" '
     function trim(s) { gsub(/^[ \t]+|[ \t,]+$/, "", s); return s }
     # Each benchmark entry line looks like:
     #   {"name": "Benchmark.../sub", "ns_per_op": 123.4},
@@ -41,11 +54,16 @@ if [ "${1:-}" = "compare" ]; then
     }
     END {
         printf "%-64s %12s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup"
+        nfail = 0
         for (i = 1; i <= n; i++) {
             name = order[i]
             if (!(name in oldseen)) continue
             s = (newns[name] > 0) ? oldns[name] / newns[name] : 0
             printf "%-64s %12.5g %12.5g %8.2fx\n", name, oldns[name], newns[name], s
+            if (failover != "" && name ~ failre && oldns[name] > 0) {
+                pct = (newns[name] / oldns[name] - 1) * 100
+                if (pct > failover + 0) fails[++nfail] = sprintf("%s regressed %.0f%% (limit %s%%)", name, pct, failover)
+            }
         }
         for (i = 1; i <= n; i++) {
             name = order[i]
@@ -54,7 +72,17 @@ if [ "${1:-}" = "compare" ]; then
         for (name in oldseen) {
             if (!(name in newseen)) printf "%-64s %12.5g %12s   (gone)\n", name, oldns[name], "-"
         }
-    }' "$old" "$new"
+        if (nfail > 0) {
+            printf "\nFAIL: %d benchmark(s) past the --fail-over %s%% gate:\n", nfail, failover
+            for (i = 1; i <= nfail; i++) printf "  %s\n", fails[i]
+            exit 1
+        }
+    }' "$old" "$new" || {
+        # awk exits non-zero for the gate (and for I/O errors, e.g. a
+        # truncated pipe); only claim a gate failure when one was requested.
+        [ -n "$failover" ] && echo "compare: regression gate failed ($new vs $old)" >&2
+        exit 1
+    }
     exit 0
 fi
 
@@ -71,14 +99,29 @@ go test -run '^$' -bench 'BenchmarkReadDuringTraining' \
     -benchtime "${READ_BENCHTIME:-2000x}" ./internal/core/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkObservePublish|BenchmarkTrainThroughput' \
     -benchtime "${PUBLISH_BENCHTIME:-2000x}" ./internal/core/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkEpochRebuild' \
+    -benchtime "${REBUILD_BENCHTIME:-50x}" ./internal/core/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkPredictBatch|BenchmarkServeThroughput' \
     -benchtime "${BATCH_BENCHTIME:-100x}" . >>"$tmp"
 
 
-awk -v gmp="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
-BEGIN { print "{"; printf "  \"gomaxprocs\": %d,\n", gmp; print "  \"benchmarks\": ["; n = 0 }
+awk -v gmp="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" \
+    -v commit="$(git describe --always --dirty 2>/dev/null || echo unknown)" \
+    -v gover="$(go env GOVERSION 2>/dev/null || echo unknown)" '
+BEGIN {
+    print "{"
+    printf "  \"gomaxprocs\": %d,\n", gmp
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"go\": \"%s\",\n", gover
+    print "  \"benchmarks\": ["; n = 0
+}
 /^Benchmark/ {
     name = $1
+    # The testing package appends "-GOMAXPROCS" to every benchmark name when
+    # GOMAXPROCS != 1. Strip it so records from different machines (the 1-core
+    # container vs a multi-core CI runner) join by name in compare — without
+    # this the --fail-over gate would silently compare nothing.
+    sub(/-[0-9]+$/, "", name)
     for (i = 2; i <= NF - 1; i++) {
         if ($(i + 1) == "ns/op") {
             if (n++) printf ",\n"
