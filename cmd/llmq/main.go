@@ -166,6 +166,75 @@ func loadExecutor(path string, cellSize float64) (*exec.Executor, *dataset.Datas
 	return e, ds, nil
 }
 
+// capacity carries the bounded-capacity flag values (and which were
+// explicitly set) from a subcommand's flag set to applyCapacity.
+type capacity struct {
+	maxProto         int
+	evict            string
+	merge            bool
+	maxSet, mergeSet bool
+}
+
+// any reports whether the user passed any capacity flag at all.
+func (cp capacity) any() bool { return cp.maxSet || cp.evict != "" || cp.mergeSet }
+
+// capacityFlags registers the bounded-capacity streaming-training flags
+// shared by the train, serve and batch subcommands; call the returned
+// function after fs.Parse to collect the values plus set-ness.
+func capacityFlags(fs *flag.FlagSet) func() capacity {
+	maxProto := fs.Int("max-prototypes", 0, "cap the live prototype count K; 0 = unbounded")
+	evict := fs.String("evict", "", "eviction policy under -max-prototypes: windecay (default) or recency")
+	merge := fs.Bool("merge", false, "merge evicted prototypes into their nearest survivor instead of discarding them")
+	return func() capacity {
+		cp := capacity{maxProto: *maxProto, evict: *evict, merge: *merge}
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "max-prototypes":
+				cp.maxSet = true
+			case "merge":
+				cp.mergeSet = true
+			}
+		})
+		return cp
+	}
+}
+
+// applyCapacity re-caps a loaded model: with a positive cap the
+// lowest-scoring prototypes are evicted (or merged) immediately, so a large
+// trained model can be shrunk to a serving budget at startup; it also arms
+// bounded eviction for any further online training. Flags the user did not
+// pass keep the model file's persisted capacity configuration — in
+// particular, -evict or -merge alone never removes a persisted cap
+// (`-max-prototypes 0` removes it explicitly).
+func applyCapacity(m *core.Model, cp capacity) error {
+	if !cp.any() {
+		return nil
+	}
+	cfg := m.Config()
+	if !cp.maxSet {
+		cp.maxProto = cfg.MaxPrototypes
+	}
+	if cp.maxProto <= 0 && (cp.evict != "" || cp.mergeSet) {
+		// -evict/-merge on a model with no cap (persisted or given) would
+		// arm nothing: SetCapacity(0, …) means "uncapped". An explicit
+		// `-max-prototypes 0` alone still removes a persisted cap.
+		return errors.New("-evict/-merge need a capacity: pass -max-prototypes or load a model with a persisted cap")
+	}
+	if !cp.mergeSet {
+		cp.merge = cfg.MergeOnEvict
+	}
+	var policy core.EvictionPolicy
+	if cp.evict != "" {
+		// An explicit -evict replaces the persisted policy; otherwise nil
+		// keeps whatever the model file carries.
+		var err error
+		if policy, err = core.ParseEvictionPolicy(cp.evict); err != nil {
+			return err
+		}
+	}
+	return m.SetCapacity(cp.maxProto, policy, cp.merge)
+}
+
 func cmdTrain(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	data := fs.String("data", "", "input dataset CSV (required)")
@@ -175,6 +244,7 @@ func cmdTrain(args []string, out io.Writer) error {
 	thetaMean := fs.Float64("theta", 0, "mean query radius µθ (default: 10% of the average attribute range)")
 	seed := fs.Int64("seed", 1, "random seed for the query workload")
 	output := fs.String("o", "model.json", "output model path")
+	getCap := capacityFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -223,6 +293,21 @@ func cmdTrain(args []string, out io.Writer) error {
 	cfg.ResolutionA = *a
 	cfg.Gamma = *gamma
 	cfg.Vigilance = *a * (span*sqrtDim(ds.Dim()) + theta)
+	if cp := getCap(); cp.maxProto > 0 {
+		policy, err := core.ParseEvictionPolicy(cp.evict)
+		if err != nil {
+			return err
+		}
+		cfg.MaxPrototypes = cp.maxProto
+		cfg.Eviction = policy
+		cfg.MergeOnEvict = cp.merge
+	} else if cp.evict != "" || cp.mergeSet {
+		// Unlike serve/batch — where a bare -evict/-merge rewrites the
+		// policy of a model file's persisted cap — train has no persisted
+		// cap to modify: a policy with no capacity would silently train an
+		// unbounded model.
+		return errors.New("train: -evict/-merge require -max-prototypes")
+	}
 	start := time.Now()
 	m, res, trainPairs, err := h.TrainModel(cfg, *pairs)
 	if err != nil {
@@ -319,6 +404,7 @@ func cmdBatch(args []string, out io.Writer) error {
 	data := fs.String("data", "", "dataset CSV backing the relation (required)")
 	modelPath := fs.String("model", "", "trained model JSON (required for APPROX statements)")
 	file := fs.String("file", "", "statement file, one per line (required; '-' reads stdin)")
+	getCap := capacityFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -378,6 +464,13 @@ func cmdBatch(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("batch: %w", err)
 		}
+		if err := applyCapacity(model, getCap()); err != nil {
+			return fmt.Errorf("batch: %w", err)
+		}
+	} else if getCap().any() {
+		// No APPROX statement loads a model, so the flags would silently
+		// do nothing.
+		return errors.New("batch: -max-prototypes/-evict/-merge need APPROX statements (a loaded model)")
 	}
 	for i, stmt := range stmts {
 		if len(stmt.Center) != ds.Dim() {

@@ -26,13 +26,14 @@ func cmdServe(args []string, out io.Writer) error {
 	modelPath := fs.String("model", "", "trained model JSON (optional; required for APPROX statements)")
 	addr := fs.String("addr", ":8080", "listen address, host:port")
 	cell := fs.Float64("cell", 0, "spatial-index cell size (default: auto from the data bounds)")
+	getCap := capacityFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *data == "" {
 		return errors.New("serve: -data is required")
 	}
-	s, info, err := buildServer(*data, *modelPath, *cell)
+	s, info, err := buildServer(*data, *modelPath, *cell, getCap())
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
@@ -85,18 +86,27 @@ func serveUntil(ctx context.Context, s *serve.Server, ln net.Listener, out io.Wr
 }
 
 // buildServer loads the relation (and the model, when given), validates the
-// two against each other, and wires the HTTP handler. Split from cmdServe so
-// the smoke test can drive the full construction path without binding a
-// port.
-func buildServer(dataPath, modelPath string, cell float64) (*serve.Server, string, error) {
+// two against each other, applies any serving-time capacity cap, and wires
+// the HTTP handler. Split from cmdServe so the smoke test can drive the
+// full construction path without binding a port.
+func buildServer(dataPath, modelPath string, cell float64, cp capacity) (*serve.Server, string, error) {
 	e, ds, err := loadExecutor(dataPath, cell)
 	if err != nil {
 		return nil, "", err
 	}
 	var model *core.Model
-	if modelPath != "" {
+	if modelPath == "" {
+		if cp.any() {
+			// Silently ignoring the flags would let an operator believe a
+			// serving budget is armed when nothing is bounded.
+			return nil, "", errors.New("-max-prototypes/-evict/-merge need -model")
+		}
+	} else {
 		model, err = loadModel(modelPath, ds.Dim())
 		if err != nil {
+			return nil, "", err
+		}
+		if err := applyCapacity(model, cp); err != nil {
 			return nil, "", err
 		}
 	}

@@ -28,7 +28,7 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("train: %v", err)
 	}
 
-	s, info, err := buildServer(data, model, 0)
+	s, info, err := buildServer(data, model, 0, capacity{})
 	if err != nil {
 		t.Fatalf("buildServer: %v", err)
 	}
@@ -64,7 +64,7 @@ func TestServeSmoke(t *testing.T) {
 	}
 
 	// Without a model, APPROX statements are rejected but the server stands.
-	s2, info2, err := buildServer(data, "", 0)
+	s2, info2, err := buildServer(data, "", 0, capacity{})
 	if err != nil {
 		t.Fatalf("buildServer without model: %v", err)
 	}
@@ -94,7 +94,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	if err := run([]string{"generate", "-dataset", "R1", "-n", "2000", "-dim", "2", "-seed", "5", "-o", data}, &out); err != nil {
 		t.Fatalf("generate: %v", err)
 	}
-	s, info, err := buildServer(data, "", 0)
+	s, info, err := buildServer(data, "", 0, capacity{})
 	if err != nil {
 		t.Fatalf("buildServer: %v", err)
 	}

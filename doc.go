@@ -35,9 +35,23 @@
 // executor's MeanBatch/RegressionBatch, the HTTP /query/batch endpoint and
 // the llmq batch subcommand fan work out over bounded worker pools, and
 // the llmq serve subcommand stands the HTTP service up directly.
-// PERFORMANCE.md documents the layout, the exactness arguments and the
-// measured speedups; scripts/bench.sh records the trajectory in
-// BENCH_<n>.json.
+//
+// # Streaming training
+//
+// Production deployments serving non-stationary workloads cap the model
+// with Config.MaxPrototypes: when a spawn exceeds the capacity, the
+// lowest-scoring prototypes under a pluggable eviction policy (win-count
+// decay or recency) are tombstoned in place — or merged into their nearest
+// survivor — and their slots reused, so serving cost stays flat no matter
+// how far past the capacity the training stream runs. Eviction is
+// published like any other version: snapshots pinned before it keep
+// serving their own rows exactly.
+//
+// docs/ARCHITECTURE.md is the guided tour of the read path, the write
+// path and the eviction lifecycle, with file pointers and the exactness
+// invariant each layer maintains. PERFORMANCE.md documents the layout,
+// the exactness arguments and the measured speedups; scripts/bench.sh
+// records the trajectory in BENCH_<n>.json.
 //
 // The benchmarks in bench_test.go regenerate every figure of the paper's
 // evaluation at a reduced scale; run them with

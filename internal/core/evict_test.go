@@ -1,0 +1,669 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"llmq/internal/vector"
+)
+
+// driftStream is the non-stationary workload of the streaming-training
+// tests: query centres are drawn from a window that slides along the
+// diagonal of the unit cube (ping-pong, so long streams keep moving), the
+// concept-drift regime bounded-capacity training exists for. Deterministic
+// for a seed.
+type driftStream struct {
+	rng      *rand.Rand
+	dim      int
+	t        int
+	window   float64 // window edge length
+	velocity float64 // window displacement per query
+}
+
+func newDriftStream(dim int, window, velocity float64, seed int64) *driftStream {
+	return &driftStream{rng: rand.New(rand.NewSource(seed)), dim: dim, window: window, velocity: velocity}
+}
+
+// pingpong folds v into [0, 1] by reflection.
+func pingpong(v float64) float64 {
+	v = math.Mod(v, 2)
+	if v < 0 {
+		v += 2
+	}
+	if v > 1 {
+		v = 2 - v
+	}
+	return v
+}
+
+func (g *driftStream) next() Query {
+	pos := pingpong(g.velocity * float64(g.t))
+	g.t++
+	x := make([]float64, g.dim)
+	for j := range x {
+		x[j] = pos*(1-g.window) + g.window*g.rng.Float64()
+	}
+	return Query{Center: vector.Of(x...), Theta: 0.03 + 0.04*g.rng.Float64()}
+}
+
+// answer is a smooth deterministic data function so RLS states evolve
+// non-trivially.
+func (g *driftStream) pair() (Query, float64) {
+	q := g.next()
+	var s float64
+	for _, v := range q.Center {
+		s += v
+	}
+	return q, math.Sin(3*s) + 0.5*q.Theta
+}
+
+// compactReference rebuilds the model from scratch out of its live
+// prototypes: a fresh unbounded model whose store holds exactly the
+// surviving LLMs in slot order, with no tombstones, no free list and no
+// revived slots. It is the reference the tombstone machinery must be
+// bit-identical to.
+func compactReference(tb testing.TB, m *Model) *Model {
+	tb.Helper()
+	cfg := m.cfg
+	cfg.MaxPrototypes = 0
+	cfg.Eviction = nil
+	ref, err := NewModel(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m.mu.Lock()
+	i := 0
+	for k := 0; k < m.store.rows; k++ {
+		if m.store.isTombstone(k) {
+			continue
+		}
+		l := m.llms[k].clone()
+		ref.llms = append(ref.llms, l)
+		ref.store.add(l.CenterPrototype, l.ThetaPrototype)
+		ref.store.syncCoef(i, l)
+		i++
+	}
+	ref.steps = m.steps
+	m.mu.Unlock()
+	ref.publishLocked()
+	return ref
+}
+
+// probeQueries spans the whole drift path, including regions whose
+// prototypes have been evicted (the extrapolation paths).
+func probeQueries(dim, n int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Query, n)
+	for i := range out {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		out[i] = Query{Center: vector.Of(x...), Theta: 0.02 + 0.2*rng.Float64()}
+	}
+	return out
+}
+
+// assertViewsAgree requires bit-identical answers from every prediction
+// method across the probe set. Winner indices may differ (the capped store
+// numbers by slot, the reference compactly), so winners are compared by
+// distance and the prototype behind them.
+func assertViewsAgree(t *testing.T, tag string, got, want View, probes []Query) {
+	t.Helper()
+	for i, q := range probes {
+		gm, err1 := got.PredictMean(q)
+		wm, err2 := want.PredictMean(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s probe %d: PredictMean errs %v / %v", tag, i, err1, err2)
+		}
+		if gm != wm {
+			t.Fatalf("%s probe %d: PredictMean %v (capped) != %v (reference)", tag, i, gm, wm)
+		}
+		x := append([]float64(nil), q.Center...)
+		gv, err1 := got.PredictValue(q, x)
+		wv, err2 := want.PredictValue(q, x)
+		if err1 != nil || err2 != nil || gv != wv {
+			t.Fatalf("%s probe %d: PredictValue %v/%v (errs %v/%v)", tag, i, gv, wv, err1, err2)
+		}
+		gr, err1 := got.Regression(q)
+		wr, err2 := want.Regression(q)
+		if err1 != nil || err2 != nil || len(gr) != len(wr) {
+			t.Fatalf("%s probe %d: Regression lens %d/%d (errs %v/%v)", tag, i, len(gr), len(wr), err1, err2)
+		}
+		for j := range gr {
+			if gr[j].Intercept != wr[j].Intercept || gr[j].Theta != wr[j].Theta ||
+				gr[j].Weight != wr[j].Weight || !gr[j].Slope.Equal(wr[j].Slope) ||
+				!gr[j].Center.Equal(wr[j].Center) {
+				t.Fatalf("%s probe %d: Regression model %d diverged: %+v vs %+v", tag, i, j, gr[j], wr[j])
+			}
+		}
+		// Winner distances agree to the last ulp only: which unrolled kernel
+		// computed the winning row's distance (the chunked tail/revived scan
+		// vs the epoch's live verification) depends on rebuild timing, which
+		// legitimately differs between the capped model and the rebuilt
+		// reference, and the kernels associate the partial sums differently.
+		// The prediction values above are the bit-exactness contract; the
+		// distance gets a one-ulp-scale tolerance.
+		_, gd, err1 := got.Winner(q)
+		_, wd, err2 := want.Winner(q)
+		if err1 != nil || err2 != nil || math.Abs(gd-wd) > 1e-12*(1+wd) {
+			t.Fatalf("%s probe %d: winner distance %v/%v (errs %v/%v)", tag, i, gd, wd, err1, err2)
+		}
+	}
+}
+
+// TestCappedStoreMatchesCompactedReference is the streaming-training
+// exactness property: a bounded model trained on a drifting stream — with
+// tombstoned slots, slot reuse, id-indirected epochs and revived-slot scans
+// all in play — must answer every prediction bit-identically to a model
+// rebuilt from scratch out of its surviving prototypes. Covers the grid
+// (d=2) and k-d tree (d=5) epoch paths, both eviction policies, and both
+// hard eviction and merge.
+func TestCappedStoreMatchesCompactedReference(t *testing.T) {
+	cases := []struct {
+		name   string
+		dim    int
+		vig    float64
+		max    int
+		policy EvictionPolicy
+		merge  bool
+	}{
+		{"d2-windecay", 2, 0.03, 200, WinDecay{}, false},
+		{"d2-recency-merge", 2, 0.03, 200, Recency{}, true},
+		{"d5-windecay-merge", 5, 0.07, 200, WinDecay{}, true},
+		{"d5-recency", 5, 0.07, 200, Recency{}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(tc.dim)
+			cfg.Vigilance = tc.vig
+			cfg.Gamma = 1e-12
+			cfg.MinGammaSteps = 1 << 30
+			cfg.MaxPrototypes = tc.max
+			cfg.Eviction = tc.policy
+			cfg.MergeOnEvict = tc.merge
+			m, err := NewModel(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := newDriftStream(tc.dim, 0.2, 3e-4, int64(1000+tc.dim))
+			probes := probeQueries(tc.dim, 120, int64(2000+tc.dim))
+			evicted, spawned := 0, 0
+			for step := 0; step < 4000; step++ {
+				q, y := stream.pair()
+				info, err := m.Observe(q, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				evicted += info.Evicted
+				if info.Created {
+					spawned++
+				}
+				if info.K > tc.max {
+					t.Fatalf("step %d: live K=%d exceeds cap %d", step, info.K, tc.max)
+				}
+				if step == 1500 || step == 3999 {
+					assertViewsAgree(t, tc.name, m.View(), compactReference(t, m).View(), probes)
+				}
+			}
+			if evicted == 0 {
+				t.Fatalf("drifting stream caused no evictions (K=%d, spawned=%d) — the test exercised nothing", m.K(), spawned)
+			}
+			m.mu.Lock()
+			rows, live := m.store.rows, m.store.live
+			m.mu.Unlock()
+			if live > tc.max {
+				t.Fatalf("live=%d exceeds cap %d", live, tc.max)
+			}
+			if rows >= spawned {
+				t.Fatalf("rows=%d, spawned=%d: tombstoned slots were never reused", rows, spawned)
+			}
+			if rows > tc.max+tc.max/4+8 {
+				t.Fatalf("rows=%d grew far past the cap %d: slot reuse is not bounding the store", rows, tc.max)
+			}
+			if m.snap.Load().epoch == nil {
+				t.Fatalf("no read epoch active at K=%d — the indexed paths were not exercised", live)
+			}
+			// Force the revived-slot path: stream until a reused slot is
+			// pending between epoch rebuilds (live but not indexed), then
+			// re-verify exactness in exactly that state.
+			revivedPending := false
+			for i := 0; i < 6000 && !revivedPending; i++ {
+				q, y := stream.pair()
+				if _, err := m.Observe(q, y); err != nil {
+					t.Fatal(err)
+				}
+				revivedPending = len(m.snap.Load().revived) > 0
+			}
+			if !revivedPending {
+				t.Fatal("never caught a revived slot pending between rebuilds")
+			}
+			assertViewsAgree(t, tc.name+"-revived", m.View(), compactReference(t, m).View(), probes)
+			// No tombstone may ever surface through the public API.
+			v := m.View()
+			for _, q := range probes {
+				qs, _, err := v.Neighborhood(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, pq := range qs {
+					if pq.Theta < 0 {
+						t.Fatalf("tombstone leaked into Neighborhood: %+v", pq)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPinnedViewSurvivesEvictionBursts is the pinned-View safety property:
+// a View pinned before an eviction burst keeps answering from its own
+// version — same predictions bit for bit, same K, no tombstone sentinels —
+// while the writer evicts, merges, reuses slots and rebuilds epochs
+// underneath it. Run with -race (CI does) alongside the interleaved-ops
+// tests.
+func TestPinnedViewSurvivesEvictionBursts(t *testing.T) {
+	const dim = 2
+	cfg := DefaultConfig(dim)
+	cfg.Vigilance = 0.03
+	cfg.Gamma = 1e-12
+	cfg.MinGammaSteps = 1 << 30
+	cfg.MaxPrototypes = 150
+	cfg.Eviction = Recency{}
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := newDriftStream(dim, 0.2, 5e-4, 7)
+	for i := 0; i < 1500; i++ {
+		q, y := stream.pair()
+		if _, err := m.Observe(q, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	v := m.View()
+	baseK := v.K()
+	probes := probeQueries(dim, 150, 77)
+	want := make([]float64, len(probes))
+	for i, q := range probes {
+		if want[i], err = v.PredictMean(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Writer: a further drift leg that forces spawn/evict churn, plus a
+	// capacity shrink — the harshest version change a pinned reader can sit
+	// across. Readers: hammer the pinned view concurrently.
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := rng.Intn(len(probes))
+				got, err := v.PredictMean(probes[i])
+				if err != nil {
+					t.Errorf("pinned PredictMean: %v", err)
+					return
+				}
+				if got != want[i] {
+					t.Errorf("pinned view drifted: probe %d got %v want %v", i, got, want[i])
+					return
+				}
+				if k := v.K(); k != baseK {
+					t.Errorf("pinned view K changed: %d -> %d", baseK, k)
+					return
+				}
+				qs, _, err := v.Neighborhood(probes[i])
+				if err != nil {
+					t.Errorf("pinned Neighborhood: %v", err)
+					return
+				}
+				for _, pq := range qs {
+					if pq.Theta < 0 {
+						t.Errorf("tombstone leaked into pinned Neighborhood: %+v", pq)
+						return
+					}
+				}
+			}
+		}(int64(300 + r))
+	}
+	evicted := 0
+	for i := 0; i < 3000; i++ {
+		q, y := stream.pair()
+		info, err := m.Observe(q, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evicted += info.Evicted
+		if i == 1500 {
+			if err := m.SetCapacity(60, WinDecay{}, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	if evicted == 0 {
+		t.Fatal("no evictions during the burst — the test exercised nothing")
+	}
+	if k := m.K(); k > 60 {
+		t.Fatalf("live model K=%d exceeds the shrunk cap", k)
+	}
+	if k := v.K(); k != baseK {
+		t.Fatalf("pinned view K changed after the bursts: %d -> %d", baseK, k)
+	}
+	// And the pinned version still answers identically after everything.
+	for i, q := range probes {
+		got, err := v.PredictMean(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("pinned view drifted after bursts: probe %d got %v want %v", i, got, want[i])
+		}
+	}
+}
+
+// TestSetCapacityShrink covers runtime re-capping: shrinking an unbounded
+// trained model evicts down to the cap immediately, publishes, and the
+// shrunken model still matches its compacted reference exactly.
+func TestSetCapacityShrink(t *testing.T) {
+	const dim = 2
+	cfg := DefaultConfig(dim)
+	cfg.Vigilance = 0.03
+	cfg.Gamma = 1e-12
+	cfg.MinGammaSteps = 1 << 30
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2500; i++ {
+		if _, err := m.Observe(randQuery(rng, dim), rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.K()
+	if before <= 100 {
+		t.Fatalf("fixture too small: K=%d", before)
+	}
+	if err := m.SetCapacity(-1, nil, false); err == nil {
+		t.Fatal("negative capacity should fail")
+	}
+	if err := m.SetCapacity(100, WinDecay{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if k := m.K(); k > 100 {
+		t.Fatalf("SetCapacity(100) left K=%d", k)
+	}
+	// A deep shrink must compact the slot space, not leave O(peak-K)
+	// tombstones for every future scan and scoring pass to walk.
+	m.mu.Lock()
+	rows, live := m.store.rows, m.store.live
+	m.mu.Unlock()
+	if rows != live {
+		t.Fatalf("deep shrink left %d slots for %d live prototypes — slot space not compacted", rows, live)
+	}
+	probes := probeQueries(dim, 120, 11)
+	assertViewsAgree(t, "shrunk", m.View(), compactReference(t, m).View(), probes)
+	// Removing the cap lets K grow again.
+	if err := m.SetCapacity(0, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := m.Observe(randQuery(rng, dim), rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.K() <= 100 {
+		t.Fatalf("uncapped model did not grow: K=%d", m.K())
+	}
+}
+
+// TestCappedSaveLoadRoundTrip: Save compacts tombstones away; the loaded
+// model serves identical predictions and keeps the capacity configuration.
+func TestCappedSaveLoadRoundTrip(t *testing.T) {
+	const dim = 2
+	cfg := DefaultConfig(dim)
+	cfg.Vigilance = 0.03
+	cfg.Gamma = 1e-12
+	cfg.MinGammaSteps = 1 << 30
+	cfg.MaxPrototypes = 120
+	cfg.Eviction = WinDecay{HalfLife: 500}
+	cfg.MergeOnEvict = true
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := newDriftStream(dim, 0.2, 5e-4, 21)
+	for i := 0; i < 2500; i++ {
+		q, y := stream.pair()
+		if _, err := m.Observe(q, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.K() != m.K() {
+		t.Fatalf("loaded K=%d, want %d", loaded.K(), m.K())
+	}
+	lc := loaded.Config()
+	if lc.MaxPrototypes != 120 || !lc.MergeOnEvict {
+		t.Fatalf("capacity config lost in round trip: %+v", lc)
+	}
+	if wd, ok := lc.Eviction.(WinDecay); !ok || wd.HalfLife != 500 {
+		t.Fatalf("eviction policy lost in round trip: %#v", lc.Eviction)
+	}
+	for _, q := range probeQueries(dim, 150, 31) {
+		a, err := m.PredictMean(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.PredictMean(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("prediction diverged after reload: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestLoadEnforcesCapacity: a model file carrying more prototypes than its
+// cap (a checkpoint racing a SetCapacity shrink, or a hand-edited file)
+// must load at or under the cap — a pure-serving process never spawns, so
+// Load is its only chance to enforce the budget.
+func TestLoadEnforcesCapacity(t *testing.T) {
+	const dim = 2
+	cfg := DefaultConfig(dim)
+	cfg.Vigilance = 0.03
+	cfg.Gamma = 1e-12
+	cfg.MinGammaSteps = 1 << 30
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 2000; i++ {
+		if _, err := m.Observe(randQuery(rng, dim), rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.K() <= 50 {
+		t.Fatalf("fixture too small: K=%d", m.K())
+	}
+	// Forge the over-cap file: an unbounded checkpoint with a cap patched
+	// in, exactly what a Save racing a shrink can produce.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	forged := bytes.Replace(buf.Bytes(), []byte(`"steps":`),
+		[]byte(`"max_prototypes": 50, "eviction": "recency", "steps":`), 1)
+	loaded, err := Load(bytes.NewReader(forged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := loaded.K(); k > 50 {
+		t.Fatalf("loaded model serves K=%d over its cap of 50", k)
+	}
+	if got := loaded.Config().MaxPrototypes; got != 50 {
+		t.Fatalf("loaded cap = %d, want 50", got)
+	}
+	if _, err := loaded.PredictMean(randQuery(rng, dim)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveConfigRaceWithSetCapacity pins the lock-free capacity-config
+// mirror: Save and Config are documented lock-free and must stay race-free
+// against concurrent SetCapacity calls (run with -race; this failed before
+// the capCfg atomic mirror existed). It also checks a checkpoint never
+// pairs inconsistent capacity fields.
+func TestSaveConfigRaceWithSetCapacity(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Vigilance = 0.05
+	cfg.Gamma = 1e-12
+	cfg.MinGammaSteps = 1 << 30
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 600; i++ {
+		if _, err := m.Observe(randQuery(rng, 2), rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := m.Save(&buf); err != nil {
+					t.Errorf("Save: %v", err)
+					return
+				}
+				c := m.Config()
+				if c.MaxPrototypes > 0 && c.Eviction == nil {
+					t.Error("Config returned a cap with no policy")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		max := 50 + i%3*25
+		if err := m.SetCapacity(max, Recency{}, i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetCapacity(0, nil, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestLoadRejectsNegativeRadius: θ < 0 is both invalid (NewQuery enforces
+// θ ≥ 0) and the tombstone sentinel — a file carrying one must be rejected,
+// not half-loaded as a slot the indexed and linear paths disagree about.
+func TestLoadRejectsNegativeRadius(t *testing.T) {
+	doc := `{"version":1,"dim":1,"vigilance":0.1,"gamma":0.01,"steps":1,
+		"llms":[{"center":[0.5],"theta":-0.5,"intercept":1,"slope_x":[0],"slope_theta":0,"wins":1}]}`
+	if _, err := Load(bytes.NewReader([]byte(doc))); err == nil {
+		t.Fatal("negative-radius prototype should be rejected")
+	}
+}
+
+// TestSaveSkipsUnknownPolicyName: a custom EvictionPolicy whose Name()
+// Load cannot resolve must degrade to the default on a save/load round
+// trip, not poison the checkpoint.
+type exoticPolicy struct{}
+
+// Score implements EvictionPolicy.
+func (exoticPolicy) Score(wins, sinceWin int) float64 { return float64(wins) }
+
+// Name implements EvictionPolicy.
+func (exoticPolicy) Name() string { return "exotic" }
+
+func TestSaveSkipsUnknownPolicyName(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.MaxPrototypes = 50
+	cfg.Eviction = exoticPolicy{}
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		if _, err := m.Observe(randQuery(rng, 2), rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("checkpoint with a custom policy must stay loadable: %v", err)
+	}
+	lc := loaded.Config()
+	if lc.MaxPrototypes != 50 || lc.Eviction == nil {
+		t.Fatalf("cap or default policy lost: %+v", lc)
+	}
+}
+
+// TestEvictionPolicyScores pins the policy semantics the docs promise.
+func TestEvictionPolicyScores(t *testing.T) {
+	wd := WinDecay{HalfLife: 100}
+	if a, b := wd.Score(10, 0), wd.Score(10, 100); b != a/2 {
+		t.Fatalf("WinDecay half-life broken: %v then %v", a, b)
+	}
+	if wd.Score(100, 0) <= wd.Score(10, 0) {
+		t.Fatal("WinDecay must rank heavier prototypes above lighter ones")
+	}
+	r := Recency{}
+	if r.Score(1000, 50) >= r.Score(1, 10) {
+		t.Fatal("Recency must ignore wins and rank by last-win time")
+	}
+	if _, err := ParseEvictionPolicy("windecay"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseEvictionPolicy("recency"); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := ParseEvictionPolicy(""); err != nil || p.Name() != "windecay" {
+		t.Fatalf("empty policy name should default to windecay, got %v/%v", p, err)
+	}
+	if _, err := ParseEvictionPolicy("nope"); err == nil {
+		t.Fatal("unknown policy name should fail")
+	}
+}

@@ -83,6 +83,28 @@ type Config struct {
 	// faithful, robust reading of the paper's "Γ is (stochastically) trapped"
 	// observation. Values <= 0 default to 25.
 	ConvergenceWindow int
+	// MaxPrototypes, when positive, caps the live prototype count K:
+	// whenever a spawn pushes K past the cap, the lowest-scoring prototypes
+	// under the Eviction policy are evicted (or merged, see MergeOnEvict)
+	// until K is back inside a small hysteresis band below the cap, so
+	// evictions batch and the epoch rebuild they trigger amortizes. The cap
+	// is what keeps a model serving a non-stationary stream bounded: stale
+	// prototypes are retired instead of accumulating forever. Zero means
+	// unbounded (the paper's setting). A model that intends to track drift
+	// indefinitely should also keep the termination criterion from freezing
+	// it (e.g. a very small Gamma or a large MinGammaSteps), since a
+	// converged model ignores further observations.
+	MaxPrototypes int
+	// Eviction ranks prototypes for eviction when MaxPrototypes is
+	// exceeded; lowest score goes first. nil defaults to WinDecay with a
+	// half-life derived from the capacity. See EvictionPolicy.
+	Eviction EvictionPolicy
+	// MergeOnEvict folds each victim into its nearest surviving prototype
+	// (win-weighted centroid in the query space, win-weighted blend of the
+	// local linear coefficients) instead of discarding it — the gentler
+	// alternative that keeps the victim's learned mass in the model at the
+	// cost of smearing its neighbour.
+	MergeOnEvict bool
 }
 
 // DefaultConfig returns the paper's default parameters for input
@@ -121,6 +143,12 @@ func (c Config) validate() (Config, error) {
 	if c.ConvergenceWindow <= 0 {
 		c.ConvergenceWindow = 25
 	}
+	if c.MaxPrototypes < 0 {
+		return c, fmt.Errorf("%w: MaxPrototypes must be non-negative, got %d", ErrBadConfig, c.MaxPrototypes)
+	}
+	if c.MaxPrototypes > 0 {
+		c.Eviction = normalizeEviction(c.Eviction, c.MaxPrototypes)
+	}
 	return c, nil
 }
 
@@ -142,6 +170,15 @@ func (c Config) validate() (Config, error) {
 type Model struct {
 	cfg  Config
 	snap atomic.Pointer[storeSnapshot] // published serving state
+
+	// capCfg is the single source of truth for the three runtime-mutable
+	// Config fields (MaxPrototypes, Eviction, MergeOnEvict): SetCapacity
+	// replaces it with one atomic store, and every reader — the lock-free
+	// Save/Config as well as the writer-side eviction path — loads it with
+	// one atomic load. cfg itself is immutable after NewModel (its capacity
+	// fields only record the constructor-time values), which is what lets
+	// Config copy it without a lock.
+	capCfg atomic.Pointer[capacityConfig]
 
 	mu         sync.Mutex  // guards everything below (the writer state)
 	llms       []*LLM      // authoritative training state (solver matrices)
@@ -169,16 +206,27 @@ type StepInfo struct {
 	Winner int
 	// Created is true when the pair spawned a new prototype.
 	Created bool
+	// Evicted is the number of prototypes evicted (or merged away) by this
+	// step's capacity enforcement; zero for unbounded models.
+	Evicted int
 	// GammaJ and GammaH are the per-step parameter drifts of the
 	// quantization and regression parameters.
 	GammaJ float64
 	GammaH float64
 	// Gamma is max(GammaJ, GammaH).
 	Gamma float64
-	// K is the number of prototypes after the step.
+	// K is the number of live prototypes after the step.
 	K int
 	// Converged is true once the termination criterion has fired.
 	Converged bool
+}
+
+// capacityConfig is the atomically published mirror of the runtime-mutable
+// capacity fields of Config; see Model.capCfg.
+type capacityConfig struct {
+	max    int
+	policy EvictionPolicy
+	merge  bool
 }
 
 // NewModel creates an untrained model.
@@ -188,6 +236,7 @@ func NewModel(cfg Config) (*Model, error) {
 		return nil, err
 	}
 	m := &Model{cfg: c, store: newProtoStore(c.Dim, c.Vigilance)}
+	m.capCfg.Store(&capacityConfig{max: c.MaxPrototypes, policy: c.Eviction, merge: c.MergeOnEvict})
 	m.publishLocked() // the empty version, so reads never see a nil snapshot
 	return m, nil
 }
@@ -206,7 +255,16 @@ func (m *Model) publishLocked() {
 func (m *Model) View() View { return View{s: m.snap.Load()} }
 
 // Config returns the normalized configuration (with the derived vigilance).
-func (m *Model) Config() Config { return m.cfg }
+// The capacity fields reflect any runtime SetCapacity calls; the read is
+// lock-free.
+func (m *Model) Config() Config {
+	cfg := m.cfg // immutable after NewModel; capacity fields overlaid below
+	cc := m.capCfg.Load()
+	cfg.MaxPrototypes = cc.max
+	cfg.Eviction = cc.policy
+	cfg.MergeOnEvict = cc.merge
+	return cfg
+}
 
 // K returns the current number of prototypes/LLMs.
 func (m *Model) K() int { return m.View().K() }
@@ -220,15 +278,36 @@ func (m *Model) Converged() bool { return m.View().Converged() }
 // LastGamma returns the most recent value of the termination criterion Γ.
 func (m *Model) LastGamma() float64 { return m.View().LastGamma() }
 
-// LLMs returns deep copies of the trained local linear mappings, including
-// their solver state. Unlike the prediction methods it reads the
-// authoritative training objects, so it serializes with the writer.
+// LLM returns a deep copy of the live local linear mapping in slot k —
+// the id Winner and StepInfo.Winner report — or nil when the slot is
+// tombstoned or out of range. For bounded models this is the correct way
+// to correlate a winner id with its mapping: LLMs() compacts tombstoned
+// slots away, so its indices do not line up with slot ids once eviction
+// has run.
+func (m *Model) LLM(k int) *LLM {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if k < 0 || k >= len(m.llms) || m.llms[k] == nil {
+		return nil
+	}
+	return m.llms[k].clone()
+}
+
+// LLMs returns deep copies of the live trained local linear mappings,
+// including their solver state, in slot order (tombstoned slots of a
+// bounded model are skipped, so for an unbounded model index i is
+// prototype i — for a bounded model use LLM(slot) to resolve a winner id).
+// Unlike the prediction methods it reads the authoritative training
+// objects, so it serializes with the writer.
 func (m *Model) LLMs() []*LLM {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]*LLM, len(m.llms))
-	for i, l := range m.llms {
-		out[i] = l.clone()
+	out := make([]*LLM, 0, m.store.live)
+	for _, l := range m.llms {
+		if l == nil {
+			continue
+		}
+		out = append(out, l.clone())
 	}
 	return out
 }
@@ -260,17 +339,18 @@ func (m *Model) observeLocked(q Query, answer float64) StepInfo {
 	if m.converged {
 		return StepInfo{
 			Step: m.steps, Gamma: m.lastGamma, GammaJ: 0, GammaH: 0,
-			K: len(m.llms), Converged: true,
+			K: m.store.live, Converged: true,
 		}
 	}
 	m.steps++
-	info := StepInfo{Step: m.steps, K: len(m.llms)}
+	info := StepInfo{Step: m.steps, K: m.store.live}
 
 	// Cold start: the first pair becomes prototype w_1.
-	if len(m.llms) == 0 {
+	if m.store.live == 0 {
 		m.llms = append(m.llms, newLLM(q, m.initIntercept(answer)))
 		m.store.add(q.Center, q.Theta)
 		m.store.syncCoef(0, m.llms[0])
+		m.store.setStamp(0, m.steps)
 		info.Created = true
 		info.Winner = 0
 		info.K = 1
@@ -291,13 +371,28 @@ func (m *Model) observeLocked(q Query, answer float64) StepInfo {
 	eta := m.cfg.Schedule.Rate(rateStep)
 
 	if dist > m.cfg.Vigilance {
-		// Spawn a new prototype at the query (Algorithm 1, else branch).
-		m.llms = append(m.llms, newLLM(q, m.initIntercept(answer)))
-		m.store.add(q.Center, q.Theta)
-		m.store.syncCoef(len(m.llms)-1, m.llms[len(m.llms)-1])
+		// Spawn a new prototype at the query (Algorithm 1, else branch). The
+		// store picks the slot: a reused tombstone when one is free, the
+		// appended tail otherwise.
+		l := newLLM(q, m.initIntercept(answer))
+		slot := m.store.spawn(q.Center, q.Theta)
+		if slot == len(m.llms) {
+			m.llms = append(m.llms, l)
+		} else {
+			m.llms[slot] = l
+		}
+		m.store.syncCoef(slot, l)
+		m.store.setStamp(slot, m.steps)
 		info.Created = true
-		info.Winner = len(m.llms) - 1
-		info.K = len(m.llms)
+		info.Winner = slot
+		// Bounded capacity: a spawn that pushes the live count past the cap
+		// evicts (or merges) the lowest-scoring prototypes, protecting the
+		// slot that just spawned. The cap lives in the capCfg mirror
+		// (runtime-mutable via SetCapacity); m.cfg stays immutable.
+		if cc := m.capCfg.Load(); cc.max > 0 && m.store.live > cc.max {
+			info.Evicted = m.evictLocked(slot)
+		}
+		info.K = m.store.live
 		// A growth step changes the parameter-set cardinality; Γ is reported
 		// as +Inf so the criterion cannot fire while K is still growing.
 		info.Gamma = math.Inf(1)
@@ -361,11 +456,12 @@ func (m *Model) observeLocked(q Query, answer float64) StepInfo {
 
 	l.Wins++
 	m.store.syncCoef(winner, l)
+	m.store.setStamp(winner, m.steps)
 	info.Winner = winner
 	info.GammaJ = gammaJ
 	info.GammaH = gammaH
 	info.Gamma = math.Max(gammaJ, gammaH)
-	info.K = len(m.llms)
+	info.K = m.store.live
 	m.lastGamma = info.Gamma
 
 	if info.Gamma <= m.cfg.Gamma {
@@ -427,7 +523,7 @@ func (m *Model) Train(pairs []TrainingPair) (TrainingResult, error) {
 	}
 	s := m.snap.Load()
 	res.Steps = s.steps
-	res.K = s.k
+	res.K = s.live
 	res.Converged = s.converged
 	res.FinalGamma = s.lastGamma
 	return res, nil
@@ -464,7 +560,7 @@ func (m *Model) TrainBatch(pairs []TrainingPair) (TrainingResult, error) {
 	}
 	m.publishLocked()
 	res.Steps = m.steps
-	res.K = len(m.llms)
+	res.K = m.store.live
 	res.Converged = m.converged
 	res.FinalGamma = m.lastGamma
 	return res, nil

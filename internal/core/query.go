@@ -10,6 +10,21 @@
 //   - Q2 linear-regression queries as a list of local linear models over the
 //     queried data subspace (Algorithm 3, Eq. 13, Theorem 3), and
 //   - data-value predictions û ≈ g(x) (Eq. 14).
+//
+// Architecturally the package is a small serving system around that model.
+// The write side (Model.Observe/Train/TrainBatch, model.go) serializes on
+// one writer mutex, updates the authoritative per-LLM solver state, mirrors
+// it into a chunked struct-of-arrays store (store.go) and publishes an
+// immutable copy-on-write snapshot through one atomic pointer. The read
+// side (snapshot.go) is lock-free: every prediction answers from one
+// published storeSnapshot, searching it through an immutable grid or k-d
+// tree "read epoch" with exactness preserved across index staleness by a
+// verified drift-slack budget, and Model.View pins a version across calls.
+// Bounded-capacity streaming deployments (Config.MaxPrototypes, evict.go)
+// tombstone and reuse prototype slots so the model tracks non-stationary
+// workloads at a fixed budget, with eviction published like any other
+// version. docs/ARCHITECTURE.md is the guided tour of these paths and the
+// invariants each layer maintains.
 package core
 
 import (

@@ -13,13 +13,19 @@ import (
 // without retraining.
 
 type modelJSON struct {
-	Version   int       `json:"version"`
-	Dim       int       `json:"dim"`
-	Vigilance float64   `json:"vigilance"`
-	Gamma     float64   `json:"gamma"`
-	Steps     int       `json:"steps"`
-	Converged bool      `json:"converged"`
-	LLMs      []llmJSON `json:"llms"`
+	Version   int     `json:"version"`
+	Dim       int     `json:"dim"`
+	Vigilance float64 `json:"vigilance"`
+	Gamma     float64 `json:"gamma"`
+	Steps     int     `json:"steps"`
+	Converged bool    `json:"converged"`
+	// Bounded-capacity configuration (absent for unbounded models, and in
+	// files written before it existed — both load as unbounded).
+	MaxPrototypes    int       `json:"max_prototypes,omitempty"`
+	Eviction         string    `json:"eviction,omitempty"`
+	EvictionHalfLife int       `json:"eviction_half_life,omitempty"`
+	MergeOnEvict     bool      `json:"merge_on_evict,omitempty"`
+	LLMs             []llmJSON `json:"llms"`
 }
 
 type llmJSON struct {
@@ -40,9 +46,30 @@ var ErrBadModelFile = errors.New("core: invalid model file")
 // Save writes the model as JSON. It serializes one published snapshot —
 // obtained with a single atomic load, no locking — so a model can be
 // checkpointed at a consistent version while serving queries and absorbing
-// a training stream.
+// a training stream. Tombstoned slots of a bounded model are compacted
+// away: the file holds the live prototypes in slot order, so a Save/Load
+// round trip is the rebuild-from-scratch reference of the tombstone
+// machinery (and resets the eviction clock — win stamps are not persisted).
 func (m *Model) Save(w io.Writer) error {
+	// Pair the capacity mirror with the snapshot consistently: read the
+	// mirror on both sides of the snapshot load and retry until it was
+	// stable across it. A concurrent SetCapacity in either direction (a
+	// shrink pairing a stale large set with the new small cap, or a grow
+	// pairing a stale small cap with a newly grown set — which Load's
+	// over-cap enforcement would then wrongly evict) changes the mirror
+	// pointer and forces another iteration; SetCapacity calls are rare, so
+	// the loop converges immediately. Load additionally enforces the cap,
+	// so even a hand-edited file cannot serve over-cap.
+	cc := m.capCfg.Load()
 	s := m.snap.Load()
+	for {
+		cc2 := m.capCfg.Load()
+		if cc2 == cc {
+			break
+		}
+		cc = cc2
+		s = m.snap.Load()
+	}
 	doc := modelJSON{
 		Version:   serializationVersion,
 		Dim:       m.cfg.Dim,
@@ -50,19 +77,40 @@ func (m *Model) Save(w io.Writer) error {
 		Gamma:     m.cfg.Gamma,
 		Steps:     s.steps,
 		Converged: s.converged,
-		LLMs:      make([]llmJSON, s.k),
+		LLMs:      make([]llmJSON, 0, s.live),
+	}
+	// The capacity fields are runtime-mutable (SetCapacity); read them
+	// through the lock-free mirror (loaded above, before the snapshot),
+	// never from m.cfg directly.
+	if cc.max > 0 {
+		doc.MaxPrototypes = cc.max
+		doc.MergeOnEvict = cc.merge
+		if p := cc.policy; p != nil {
+			// Only names Load can resolve are persisted; a custom policy
+			// implementation degrades to the default on reload rather than
+			// producing a checkpoint Load rejects wholesale.
+			if _, err := ParseEvictionPolicy(p.Name()); err == nil {
+				doc.Eviction = p.Name()
+			}
+			if wd, ok := p.(WinDecay); ok {
+				doc.EvictionHalfLife = wd.HalfLife
+			}
+		}
 	}
 	for i := 0; i < s.k; i++ {
 		row := s.row(i)
+		if row[s.dim] < 0 {
+			continue // tombstoned slot
+		}
 		c := s.coefRow(i)
-		doc.LLMs[i] = llmJSON{
+		doc.LLMs = append(doc.LLMs, llmJSON{
 			Center:     append([]float64(nil), row[:s.dim]...),
 			Theta:      row[s.dim],
 			Intercept:  c[0],
 			SlopeX:     append([]float64(nil), c[1:1+s.dim]...),
 			SlopeTheta: c[s.coefW-1],
 			Wins:       s.win(i),
-		}
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -93,6 +141,19 @@ func Load(r io.Reader) (*Model, error) {
 		InitInterceptWithAnswer: true,
 		RateByPrototype:         true,
 	}
+	if doc.MaxPrototypes > 0 {
+		cfg.MaxPrototypes = doc.MaxPrototypes
+		cfg.MergeOnEvict = doc.MergeOnEvict
+		policy, err := ParseEvictionPolicy(doc.Eviction)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModelFile, err)
+		}
+		if wd, ok := policy.(WinDecay); ok && doc.EvictionHalfLife > 0 {
+			wd.HalfLife = doc.EvictionHalfLife
+			policy = wd
+		}
+		cfg.Eviction = policy
+	}
 	m, err := NewModel(cfg)
 	if err != nil {
 		return nil, err
@@ -102,6 +163,13 @@ func Load(r io.Reader) (*Model, error) {
 	for i, lj := range doc.LLMs {
 		if len(lj.Center) != doc.Dim || len(lj.SlopeX) != doc.Dim {
 			return nil, fmt.Errorf("%w: LLM %d has wrong dimensionality", ErrBadModelFile, i)
+		}
+		// A negative radius is invalid (NewQuery enforces θ ≥ 0) and would
+		// collide with the store's tombstone sentinel (θ < 0 marks an
+		// evicted slot), splitting the prototype's liveness between the
+		// indexed and linear search paths.
+		if lj.Theta < 0 {
+			return nil, fmt.Errorf("%w: LLM %d has negative radius %v", ErrBadModelFile, i, lj.Theta)
 		}
 		for _, v := range append(append([]float64{lj.Theta, lj.Intercept, lj.SlopeTheta}, lj.Center...), lj.SlopeX...) {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -117,9 +185,28 @@ func Load(r io.Reader) (*Model, error) {
 			Wins:            lj.Wins,
 		}
 		m.llms = append(m.llms, l)
-		m.store.add(l.CenterPrototype, l.ThetaPrototype)
+		// addRow, not add: one explicit epoch build after the loop replaces
+		// the O(log K) intermediate builds the per-append trigger would
+		// construct and discard during a bulk load.
+		m.store.addRow(l.CenterPrototype, l.ThetaPrototype)
 		m.store.syncCoef(i, l)
+		// Win stamps are not persisted; restart the eviction clock at the
+		// load step so decayed scores don't all underflow to zero (which
+		// would erase the win-count ordering the policies rely on).
+		m.store.setStamp(i, doc.Steps)
 	}
+	// Enforce the file's capacity before the first publication: a file can
+	// carry more prototypes than its cap (a checkpoint racing a SetCapacity
+	// shrink, or a hand-edited document), and a pure-serving process would
+	// otherwise stay over-cap forever — no spawn ever runs to trigger the
+	// eviction pass.
+	if cfg.MaxPrototypes > 0 && m.store.live > cfg.MaxPrototypes {
+		m.evictLocked(-1)
+	}
+	// The bulk load deferred the per-append epoch checks; build the one
+	// epoch the loaded set needs (a no-op drop below the size gates, and a
+	// cheap redundant build in the rare compacted-on-load case).
+	m.store.rebuildEpoch()
 	// Publish the loaded model as its first serving version.
 	m.publishLocked()
 	return m, nil

@@ -27,8 +27,16 @@ import (
 type storeSnapshot struct {
 	chunkTable // the chunk-pointer table and its layout decoders
 
-	dim int // input dimensionality d
-	k   int // prototype count
+	dim  int // input dimensionality d
+	k    int // prototype slot count (live + tombstoned), the row-scan bound
+	live int // live prototypes (the K users see)
+
+	// revived lists the live slots below the epoch's builtK that the epoch
+	// does not index (tombstones reused after the build); every search scans
+	// them exactly, like the appended tail. Tombstoned slots themselves need
+	// no bookkeeping — their rows are masked to infinite distance, so the
+	// row scans skip them without a branch.
+	revived []int32
 
 	epoch    *readEpoch // shared immutable index (nil below the size gates)
 	slack    float64    // max prototype displacement vs the epoch's stale rows
@@ -124,7 +132,7 @@ func (s *storeSnapshot) winnerQuery(q Query, sc *predictScratch) (int, float64) 
 	qflat := sc.qvec(s.width)
 	copy(qflat, q.Center)
 	qflat[s.width-1] = q.Theta
-	k, sq := winnerOn(s.epoch, s.chunked(), qflat, s.slack, &sc.kdstack)
+	k, sq := winnerOn(s.epoch, s.chunked(), qflat, s.slack, s.revived, &sc.kdstack)
 	return k, math.Sqrt(sq)
 }
 
@@ -157,9 +165,11 @@ func (s *storeSnapshot) overlapAccumulate(q Query, id int, idx []int, weights []
 }
 
 // overlapLinear builds the overlap set W(q) (Eq. 10) with one scan over all
-// prototype rows: the exact reference path, used below the index size gates
-// and whenever the radius query cannot prune. The returned slices live in
-// the scratch and are valid until the next use of it.
+// prototype slots: the exact reference path, used below the index size gates
+// and whenever the radius query cannot prune. Tombstoned slots sit at
+// infinite distance and fail the membership test without a branch. The
+// returned slices live in the scratch and are valid until the next use of
+// it.
 func (s *storeSnapshot) overlapLinear(q Query, sc *predictScratch) (idx []int, weights []float64) {
 	idx, weights = sc.idx[:0], sc.weights[:0]
 	var total float64
@@ -218,6 +228,13 @@ func (s *storeSnapshot) overlapSet(q Query, sc *predictScratch) (idx []int, weig
 		// anyway, so a space-covering query must not pay a full verified
 		// traversal whose output is discarded.
 		cand, sc.kdstack = e.tree.Range(qflat, rq, cand, sc.kdstack, s.k/2)
+	}
+	// Revived slots are live but absent from the epoch: add them to the
+	// candidate set unconditionally (they sort into slot order below, so the
+	// accumulation order — and hence the float weights — match the linear
+	// scan exactly; the membership verification discards non-members).
+	for _, id := range s.revived {
+		cand = append(cand, int(id))
 	}
 	sc.cand = cand
 	tail := s.k - e.builtK
@@ -284,8 +301,9 @@ type View struct {
 	s *storeSnapshot
 }
 
-// K returns the number of prototypes/LLMs in this version.
-func (v View) K() int { return v.s.k }
+// K returns the number of live prototypes/LLMs in this version (slots
+// tombstoned by eviction are not counted).
+func (v View) K() int { return v.s.live }
 
 // Steps returns how many training pairs this version had consumed.
 func (v View) Steps() int { return v.s.steps }
@@ -297,7 +315,7 @@ func (v View) Converged() bool { return v.s.converged }
 func (v View) LastGamma() float64 { return v.s.lastGamma }
 
 func (v View) checkQuery(q Query) error {
-	if v.s.k == 0 {
+	if v.s.live == 0 {
 		return ErrNotTrained
 	}
 	if q.Dim() != v.s.dim {
@@ -373,7 +391,7 @@ func (v View) Regression(q Query) ([]LocalLinear, error) {
 // subspace addressed by the query q = [x0, θ] (Eq. 14): the overlap-weighted
 // fusion of the neighbouring LLMs evaluated at their own prototype radii.
 func (v View) PredictValue(q Query, x []float64) (float64, error) {
-	if v.s.k == 0 {
+	if v.s.live == 0 {
 		return 0, ErrNotTrained
 	}
 	if q.Dim() != v.s.dim || len(x) != v.s.dim {

@@ -84,12 +84,43 @@ const (
 // ‖x − x_k‖ ≤ θ + θ_k into a radius query: every overlapping prototype lies
 // within θ + maxTheta of the query centre, hence within
 // √((θ+maxTheta)² + max(θ, maxTheta)²) of [x, θ] in the query space.
+// # Tombstones and slot reuse
+//
+// Bounded-capacity training (Config.MaxPrototypes) evicts prototypes, but a
+// slot's index must stay valid forever: published snapshots share the chunk
+// tables by pointer and identify prototypes by row index. An evicted slot is
+// therefore tombstoned in place — its prototype row is masked to +Inf
+// (vector.MaskRow, transparent to every distance kernel) with the θ column
+// set to the −1 sentinel so tombstones are detectable — and pushed onto a
+// free list; the next spawn reuses the slot instead of appending, so the row
+// space stays bounded by the capacity plus the eviction hysteresis no matter
+// how long the stream runs. Eviction rewrites only the victims' chunks
+// (copy-on-write, like any other write) and installs one fresh epoch, so a
+// snapshot pinned before the eviction keeps serving its own version of every
+// row.
+//
+// Epochs built while tombstones exist index only the live slots, carrying
+// the true slot ids through the grid/tree id-indirection; a freed slot
+// reused before the next rebuild is missing from the epoch and is recorded
+// in revived, which every search scans exactly — the same pattern as the
+// appended tail. The liveness invariant: every slot an epoch indexes is live
+// for that epoch's entire lifetime, because the only way a slot dies is an
+// eviction, and eviction installs a new epoch before the writer lock is
+// released.
 type protoStore struct {
 	chunkTable
 
-	rows      int     // number of stored prototypes K
+	rows      int     // number of stored prototype slots (live + tombstoned)
+	live      int     // live (non-tombstoned) prototypes K
 	pubK      int     // rows at the last publication; rows >= pubK are unpublished
 	vigilance float64 // rebuild threshold scale (the prototype spacing)
+
+	// free holds tombstoned slots available for reuse; revived holds live
+	// slots below the epoch's builtK that the epoch does not index (reused
+	// after the build), scanned exactly by every search and cleared on
+	// rebuild.
+	free    []int32
+	revived []int32
 
 	// shared[c] records whether any published snapshot references chunk c —
 	// a write to a published row of a shared chunk must copy the chunk
@@ -104,27 +135,38 @@ type protoStore struct {
 	qbuf     []float64 // winnerQuery scratch (single writer)
 	kdstack  []int32   // k-d tree traversal scratch (single writer)
 	staleBuf []float64 // rebuildEpoch stale-row gather scratch (single writer)
+	idsBuf   []int32   // rebuildEpoch live-slot id gather scratch (single writer)
 }
 
 // chunkTable is the chunk-layout decoder shared by the writer-side store
 // and every published snapshot, so the layout arithmetic exists exactly
 // once. Each chunk is ONE allocation laid out as
 // [chunkRows×width prototype rows][chunkRows×coefW coefficient rows]
-// [chunkRows win counts (stored as float64 — exact below 2^53)]: a row's
-// prototype, coefficients and win count dirty together on a winner update,
-// so keeping them in one buffer makes the copy-on-write copy one
-// allocation, and referencing chunks through *vector.Chunk makes
-// publication copy one word per chunk. The prototype rows are the prefix,
-// so the table doubles as the vector.Chunked view the argmin kernels scan.
+// [chunkRows win counts][chunkRows last-win step stamps] (counts and stamps
+// stored as float64 — exact below 2^53): a row's prototype, coefficients,
+// win count and stamp dirty together on a winner update, so keeping them in
+// one buffer makes the copy-on-write copy one allocation, and referencing
+// chunks through *vector.Chunk makes publication copy one word per chunk.
+// The prototype rows are the prefix, so the table doubles as the
+// vector.Chunked view the argmin kernels scan. The stamps are the eviction
+// policies' state: they ride the same copy-on-write versioning as the rows
+// they describe, so a policy never scores a prototype against another
+// version's clock.
 type chunkTable struct {
 	width int             // d+1: [x..., θ]
 	coefW int             // d+2: [y, b_X..., b_Θ]
 	dataC []*vector.Chunk // the chunk pointers
 }
 
+// tombstoneTheta is the θ-column sentinel of a tombstoned slot. Real radii
+// are non-negative (NewQuery validates θ ≥ 0), so θ < 0 identifies a
+// tombstone; the slot's input coordinates are masked to +Inf so the
+// distance kernels exclude it without any branch (see vector.MaskRow).
+const tombstoneTheta = -1
+
 // chunkFloats is the size of one chunk allocation: prototype rows,
-// coefficient rows and win counts for chunkRows rows.
-func (t *chunkTable) chunkFloats() int { return chunkRows * (t.width + t.coefW + 1) }
+// coefficient rows, win counts and win stamps for chunkRows rows.
+func (t *chunkTable) chunkFloats() int { return chunkRows * (t.width + t.coefW + 2) }
 
 // row returns the k-th prototype row [x_k..., θ_k].
 func (t *chunkTable) row(k int) []float64 {
@@ -148,6 +190,25 @@ func (t *chunkTable) setWin(k, wins int) {
 	t.dataC[k>>chunkShift].Data[chunkRows*(t.width+t.coefW)+(k&chunkMask)] = float64(wins)
 }
 
+// stamp returns the training-step index at which the k-th prototype last
+// absorbed a pair (its spawn step until it wins one) — the recency input of
+// the eviction policies.
+func (t *chunkTable) stamp(k int) int {
+	return int(t.dataC[k>>chunkShift].Data[chunkRows*(t.width+t.coefW+1)+(k&chunkMask)])
+}
+
+// setStamp stores the k-th prototype's last-win step stamp. The caller must
+// have made the chunk writable (every call site follows a syncCoef or an
+// explicit writableChunk).
+func (t *chunkTable) setStamp(k, step int) {
+	t.dataC[k>>chunkShift].Data[chunkRows*(t.width+t.coefW+1)+(k&chunkMask)] = float64(step)
+}
+
+// isTombstone reports whether slot k has been evicted (θ sentinel < 0).
+func (t *chunkTable) isTombstone(k int) bool {
+	return t.row(k)[t.width-1] < 0
+}
+
 // readEpoch is one immutable generation of the search index: either a
 // uniform grid or a bulk-built k-d tree over a stale copy of the first
 // builtK prototype rows. It is built on the write path and never mutated,
@@ -157,6 +218,14 @@ func (t *chunkTable) setWin(k, wins int) {
 type readEpoch struct {
 	builtK int
 	width  int
+
+	// inEpoch marks which slots below builtK the epoch indexes; nil means
+	// all of them (no tombstones existed at build time). Only indexed
+	// slots pay into the drift budget — a slot the epoch does not cover is
+	// scanned exactly against its live row anyway, so its moves cannot
+	// invalidate any pruning bound (and must not inflate the slack or
+	// trigger spurious rebuilds).
+	inEpoch []bool
 
 	// grid indexes the stale rows for width ≤ storeGridMaxWidth.
 	grid *index.DynamicGrid
@@ -190,7 +259,7 @@ func newProtoStore(dim int, vigilance float64) *protoStore {
 	}
 }
 
-// k returns the number of stored prototypes.
+// k returns the number of stored prototype slots (live + tombstoned).
 func (s *protoStore) k() int { return s.rows }
 
 // liveView wraps the live chunk table for the chunk-iterating kernels (the
@@ -238,18 +307,77 @@ func (s *protoStore) minEpochK() int {
 // tail until the next rebuild, and stays invisible to published snapshots
 // (their k precedes it), so the append costs no chunk copy.
 func (s *protoStore) add(center vector.Vec, theta float64) {
+	s.addRow(center, theta)
+	s.maybeRebuildEpoch()
+}
+
+// addRow is add without the rebuild check — the bulk-ingestion primitive
+// for callers that install one epoch themselves after many appends
+// (compaction), mirroring the update/updateRow split.
+func (s *protoStore) addRow(center vector.Vec, theta float64) {
 	k := s.rows
 	if k>>chunkShift == len(s.dataC) {
 		s.appendChunk()
 	}
 	s.rows++
+	s.live++
 	row := s.row(k)
 	copy(row, center)
 	row[s.width-1] = theta
 	if theta > s.maxTheta {
 		s.maxTheta = theta
 	}
+}
+
+// spawn stores a new prototype and returns its slot: a tombstoned slot from
+// the free list when one exists (the write copy-on-writes the chunk like
+// any published-row update, and the slot joins the revived list when the
+// current epoch predates it), the appended tail otherwise. The caller syncs
+// coefficients into the returned slot right after.
+func (s *protoStore) spawn(center vector.Vec, theta float64) int {
+	n := len(s.free)
+	if n == 0 {
+		s.add(center, theta)
+		return s.rows - 1
+	}
+	k := int(s.free[n-1])
+	s.free = s.free[:n-1]
+	s.writableChunk(k)
+	row := s.row(k)
+	copy(row, center)
+	row[s.width-1] = theta
+	if theta > s.maxTheta {
+		s.maxTheta = theta
+	}
+	s.live++
+	if s.epoch != nil && k < s.epoch.builtK {
+		s.revived = append(s.revived, int32(k))
+	}
 	s.maybeRebuildEpoch()
+	return k
+}
+
+// evictSlot tombstones slot k in place: the prototype row is masked so
+// every distance kernel excludes it (the θ column keeps the detectable −1
+// sentinel), the coefficient mirror and policy state are zeroed, and the
+// slot joins the free list for reuse. The write copy-on-writes the chunk,
+// so snapshots published before the eviction keep serving the old row. The
+// caller (the model's eviction pass) installs a fresh epoch before
+// releasing the writer lock — the store's own searches never run against an
+// epoch that indexes a tombstoned slot.
+func (s *protoStore) evictSlot(k int) {
+	s.writableChunk(k)
+	row := s.row(k)
+	vector.MaskRow(row[:s.width-1])
+	row[s.width-1] = tombstoneTheta
+	coef := s.coefRow(k)
+	for i := range coef {
+		coef[i] = 0
+	}
+	s.setWin(k, 0)
+	s.setStamp(k, 0)
+	s.live--
+	s.free = append(s.free, int32(k))
 }
 
 // update syncs the k-th prototype row after a drift step, accounting the
@@ -257,8 +385,19 @@ func (s *protoStore) add(center vector.Vec, theta float64) {
 // triggers copy-on-write: the winner row usually lives in a chunk shared
 // with the last published version.
 func (s *protoStore) update(k int, center vector.Vec, theta float64) {
+	s.updateRow(k, center, theta)
+	s.maybeRebuildEpoch()
+}
+
+// updateRow is update without the rebuild check: the eviction pass moves
+// merge survivors by more than the drift threshold routinely, and paying a
+// rebuild per merged victim would turn its single end-of-pass rebuild into
+// O(victims) rebuilds — the pass accounts the drift here (exactness between
+// writes is still covered by the widened bounds) and installs one fresh
+// epoch when it finishes.
+func (s *protoStore) updateRow(k int, center vector.Vec, theta float64) {
 	row := s.row(k)
-	if s.epoch != nil && k < s.epoch.builtK {
+	if e := s.epoch; e != nil && k < e.builtK && (e.inEpoch == nil || e.inEpoch[k]) {
 		move := math.Sqrt(vector.SqDistanceFlat(row[:s.width-1], center) +
 			(row[s.width-1]-theta)*(row[s.width-1]-theta))
 		s.drift[k] += move
@@ -273,7 +412,6 @@ func (s *protoStore) update(k int, center vector.Vec, theta float64) {
 	if theta > s.maxTheta {
 		s.maxTheta = theta
 	}
-	s.maybeRebuildEpoch()
 }
 
 // syncCoef mirrors the LLM's current coefficients and win count into the
@@ -287,34 +425,53 @@ func (s *protoStore) syncCoef(k int, l *LLM) {
 	s.setWin(k, l.Wins)
 }
 
-// maybeRebuildEpoch rebuilds once the un-indexed tail reaches an eighth of
-// the prototype set or the accumulated drift becomes comparable to the
-// prototype spacing. Called on the write path only; a rebuild installs a
-// fresh immutable epoch and leaves every previously published one untouched.
+// maybeRebuildEpoch rebuilds once the un-indexed rows — the appended tail
+// plus any revived slots — reach an eighth of the prototype set or the
+// accumulated drift becomes comparable to the prototype spacing. Called on
+// the write path only; a rebuild installs a fresh immutable epoch and
+// leaves every previously published one untouched.
 func (s *protoStore) maybeRebuildEpoch() {
 	k := s.rows
-	if k < s.minEpochK() {
+	if s.live < s.minEpochK() {
 		return
 	}
 	built := 0
 	if s.epoch != nil {
 		built = s.epoch.builtK
 	}
-	if (k-built)*8 >= k || s.maxDrift > s.vigilance/4 {
+	if (k-built+len(s.revived))*8 >= k || s.maxDrift > s.vigilance/4 {
 		s.rebuildEpoch()
 	}
 }
 
-// rebuildEpoch snapshots all current prototype rows into a fresh immutable
-// index (grid or k-d tree by width), resets the drift budget, and
-// re-tightens the max-θ bound exactly. It reads the live chunks row by row;
-// the epoch's own storage is contiguous (grid rows / leaf-ordered tree
-// matrix), so searches against the stale copy keep their flat-scan cache
-// behaviour.
+// rebuildEpoch snapshots the current live prototype rows into a fresh
+// immutable index (grid or k-d tree by width), resets the drift budget and
+// the revived list, and re-tightens the max-θ bound exactly. It reads the
+// live chunks row by row; the epoch's own storage is contiguous (grid rows
+// / leaf-ordered tree matrix), so searches against the stale copy keep
+// their flat-scan cache behaviour. While tombstones exist only the live
+// slots are indexed, with the grid/tree id-indirection carrying the true
+// slot ids; if the live count has fallen below the index size gate (a deep
+// capacity shrink) the epoch is dropped and searches fall back to the exact
+// flat scan, for which tombstones are transparent.
 func (s *protoStore) rebuildEpoch() {
 	k := s.rows
 	w := s.width
+	s.revived = s.revived[:0]
+	if s.live < s.minEpochK() {
+		s.epoch = nil
+		s.drift = s.drift[:0]
+		s.maxDrift = 0
+		s.retightenMaxTheta()
+		return
+	}
 	e := &readEpoch{builtK: k, width: w}
+	if s.live != k {
+		e.inEpoch = make([]bool, k)
+		for i := 0; i < k; i++ {
+			e.inEpoch[i] = !s.isTombstone(i)
+		}
+	}
 	if w <= storeGridMaxWidth {
 		// Constructor and Insert cannot fail: the width is positive, the
 		// cell size was validated with the config, and every row matches the
@@ -324,23 +481,50 @@ func (s *protoStore) rebuildEpoch() {
 		if err != nil {
 			panic(fmt.Sprintf("core: epoch grid build invariant broken: %v", err))
 		}
-		for i := 0; i < k; i++ {
-			_, _ = g.Insert(s.row(i))
+		if s.live == k {
+			for i := 0; i < k; i++ {
+				_, _ = g.Insert(s.row(i))
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				if s.isTombstone(i) {
+					continue
+				}
+				if _, err := g.InsertWithID(s.row(i), int32(i)); err != nil {
+					panic(fmt.Sprintf("core: epoch grid build invariant broken: %v", err))
+				}
+			}
 		}
 		e.grid = g
 	} else {
-		if cap(s.staleBuf) < k*w {
-			s.staleBuf = make([]float64, k*w, 2*k*w)
+		if cap(s.staleBuf) < s.live*w {
+			s.staleBuf = make([]float64, s.live*w, 2*s.live*w)
 		}
-		stale := s.staleBuf[:k*w]
-		for i := 0; i < k; i++ {
-			copy(stale[i*w:(i+1)*w], s.row(i))
+		stale := s.staleBuf[:0]
+		var t *index.BulkKDTree
+		var err error
+		if s.live == k {
+			for i := 0; i < k; i++ {
+				stale = append(stale, s.row(i)...)
+			}
+			t, err = index.NewBulkKDTree(stale, w)
+		} else {
+			ids := s.idsBuf[:0]
+			for i := 0; i < k; i++ {
+				if s.isTombstone(i) {
+					continue
+				}
+				stale = append(stale, s.row(i)...)
+				ids = append(ids, int32(i))
+			}
+			s.idsBuf = ids
+			t, err = index.NewBulkKDTreeIDs(stale, w, ids)
 		}
+		s.staleBuf = stale
 		// The constructor cannot fail: the width is positive and the stale
-		// copy is non-empty (k ≥ minEpochK) with k×w values by construction.
-		// A failure means that invariant broke — surface it instead of
-		// silently serving O(K) scans forever.
-		t, err := index.NewBulkKDTree(stale, w)
+		// copy is non-empty (live ≥ minEpochK) with live×w values by
+		// construction. A failure means that invariant broke — surface it
+		// instead of silently serving O(K) scans forever.
 		if err != nil {
 			panic(fmt.Sprintf("core: epoch tree build invariant broken: %v", err))
 		}
@@ -355,8 +539,15 @@ func (s *protoStore) rebuildEpoch() {
 		s.drift[i] = 0
 	}
 	s.maxDrift = 0
+	s.retightenMaxTheta()
+}
+
+// retightenMaxTheta recomputes the exact max over the live prototype radii
+// (the tombstone sentinel is negative and never raises it).
+func (s *protoStore) retightenMaxTheta() {
 	mt := 0.0
-	for i := 0; i < k; i++ {
+	w := s.width
+	for i := 0; i < s.rows; i++ {
 		if t := s.row(i)[w-1]; t > mt {
 			mt = t
 		}
@@ -367,21 +558,28 @@ func (s *protoStore) rebuildEpoch() {
 // winnerOn returns the index of the prototype closest to the query-space
 // point qflat = [x..., θ] among the live rows of the chunk table, and the
 // squared L2 distance to it, using the epoch's index when one exists. Rows
-// appended since the epoch build (the trailing chunks of the live matrix)
-// are scanned exactly first and seed the indexed search. stack carries the
-// k-d tree traversal scratch (the store's own buffer for the writer, the
-// prediction scratch pool's for readers), so the hot path allocates
-// nothing. All paths verify candidates with the same unrolled kernels and
-// return a true minimum: the grid and chunked scans break ties toward the
-// lowest index, while the tree visits rows in leaf order, so under ties the
-// paths can return different (equidistant) winners — the distance, and
-// hence the vigilance test, is identical either way.
-func winnerOn(e *readEpoch, live vector.Chunked, qflat []float64, slack float64, stack *[]int32) (int, float64) {
+// the epoch does not cover are scanned exactly first and seed the indexed
+// search: the appended tail (the trailing chunks of the live matrix) and
+// the revived slots (tombstones reused since the epoch build). Tombstoned
+// rows are masked to infinite distance, so every scan skips them without a
+// branch. stack carries the k-d tree traversal scratch (the store's own
+// buffer for the writer, the prediction scratch pool's for readers), so the
+// hot path allocates nothing. All paths verify candidates with the same
+// unrolled kernels and return a true minimum: the grid and chunked scans
+// break ties toward the lowest index, while the tree visits rows in leaf
+// order, so under ties the paths can return different (equidistant) winners
+// — the distance, and hence the vigilance test, is identical either way.
+func winnerOn(e *readEpoch, live vector.Chunked, qflat []float64, slack float64, revived []int32, stack *[]int32) (int, float64) {
 	if e == nil {
 		return vector.ArgminSqDistanceChunked(live, qflat)
 	}
 	built := e.builtK
 	best, bestSq := vector.ArgminSqDistanceChunkedRange(live, qflat, built, -1, math.Inf(1))
+	for _, id := range revived {
+		if sq := vector.SqDistanceFlat(live.Row(int(id)), qflat); sq < bestSq || (sq == bestSq && int(id) < best) {
+			best, bestSq = int(id), sq
+		}
+	}
 	if e.grid != nil {
 		return e.grid.NearestStale(qflat, slack, live, best, bestSq)
 	}
@@ -392,7 +590,7 @@ func winnerOn(e *readEpoch, live vector.Chunked, qflat []float64, slack float64,
 
 // winner returns the winner over the store's live rows.
 func (s *protoStore) winner(qflat []float64) (int, float64) {
-	return winnerOn(s.epoch, s.liveView(), qflat, s.maxDrift, &s.kdstack)
+	return winnerOn(s.epoch, s.liveView(), qflat, s.maxDrift, s.revived, &s.kdstack)
 }
 
 // winnerQuery is the Query-typed entry point: it assembles the query-space
@@ -423,10 +621,17 @@ func (s *protoStore) publish(dim, steps int, converged bool, lastGamma float64) 
 		s.shared[i] = true
 	}
 	s.pubK = s.rows
+	var revived []int32
+	if len(s.revived) > 0 {
+		// Copied, not shared: the writer appends to its own list in place.
+		revived = append(revived, s.revived...)
+	}
 	return &storeSnapshot{
 		dim:        dim,
 		chunkTable: chunkTable{width: s.width, coefW: s.coefW, dataC: dataC},
 		k:          s.rows,
+		live:       s.live,
+		revived:    revived,
 		epoch:      s.epoch,
 		slack:      s.maxDrift,
 		maxTheta:   s.maxTheta,

@@ -34,6 +34,14 @@ type DynamicGrid struct {
 	keys     []uint64         // current cell hash of each point
 	cells    map[uint64][]int // cell hash → point ids
 	lo, hi   []int            // bounding box of occupied cell coords
+
+	// ext maps dense internal ids to the caller's external ids when the grid
+	// was populated with InsertWithID (the bounded prototype store indexes
+	// only the live slots of a tombstoned row space, so grid position i is
+	// slot ext[i]). nil means external == internal. Searches report, verify
+	// live rows under, and tie-break by external ids, so a caller-supplied
+	// id space behaves exactly like the dense one.
+	ext []int32
 }
 
 // NewDynamicGrid creates an empty dynamic grid for points of the given
@@ -93,7 +101,47 @@ func (g *DynamicGrid) growBounds(coord []int) {
 }
 
 // Insert adds a point and returns its id (ids are dense, in insertion order).
+// A grid is populated either entirely with Insert or entirely with
+// InsertWithID; mixing the two id spaces is rejected.
 func (g *DynamicGrid) Insert(p []float64) (int, error) {
+	if g.ext != nil {
+		return 0, fmt.Errorf("index: Insert on a grid built with InsertWithID")
+	}
+	return g.insert(p)
+}
+
+// InsertWithID adds a point that searches will report under the caller's
+// external id instead of the dense insertion index. External ids must be
+// inserted in ascending order so the grid's lowest-internal-id tie-breaking
+// coincides with lowest-external-id, matching a linear scan over the
+// caller's id space; live-row verification (NearestStale with a non-zero
+// slack) reads live.Row(ext), so the caller's chunked view must be indexed
+// by the external ids. A grid built this way is a frozen snapshot: Update is
+// rejected.
+func (g *DynamicGrid) InsertWithID(p []float64, ext int32) (int, error) {
+	if len(g.keys) > 0 && g.ext == nil {
+		return 0, fmt.Errorf("index: InsertWithID on a grid built with Insert")
+	}
+	if n := len(g.ext); n > 0 && g.ext[n-1] >= ext {
+		return 0, fmt.Errorf("index: InsertWithID ids must be strictly ascending (%d after %d)", ext, g.ext[n-1])
+	}
+	id, err := g.insert(p)
+	if err != nil {
+		return 0, err
+	}
+	g.ext = append(g.ext, ext)
+	return id, nil
+}
+
+// extOf maps a dense internal id to the external id searches report.
+func (g *DynamicGrid) extOf(id int) int {
+	if g.ext == nil {
+		return id
+	}
+	return int(g.ext[id])
+}
+
+func (g *DynamicGrid) insert(p []float64) (int, error) {
 	if len(p) != g.dim {
 		return 0, fmt.Errorf("%w: point dim %d, index dim %d", ErrDimension, len(p), g.dim)
 	}
@@ -114,6 +162,9 @@ func (g *DynamicGrid) Insert(p []float64) (int, error) {
 // update moves the winning prototype a small step toward each absorbed
 // query, which only rarely changes its cell.
 func (g *DynamicGrid) Update(id int, p []float64) error {
+	if g.ext != nil {
+		return fmt.Errorf("index: Update on a frozen external-id grid")
+	}
 	if id < 0 || id >= len(g.keys) {
 		return fmt.Errorf("index: update of unknown id %d (have %d points)", id, len(g.keys))
 	}
@@ -196,6 +247,10 @@ func (g *DynamicGrid) Nearest(q []float64) (int, float64) {
 // Like Nearest, the ring expansion carries a visited-cell budget and falls
 // back to one exact scan over the live rows (including any tail beyond the
 // grid's ids) when the cell size is pathologically mismatched.
+//
+// On a grid populated with InsertWithID, every id in this contract — the
+// seed, the ids live is indexed by, and the returned winner — is an
+// external id.
 func (g *DynamicGrid) NearestStale(q []float64, slack float64, live vector.Chunked, seed int, seedSq float64) (int, float64) {
 	if len(q) != g.dim {
 		panic(fmt.Sprintf("index: NearestStale query dim %d, index dim %d", len(q), g.dim))
@@ -289,10 +344,22 @@ func (g *DynamicGrid) NearestStale(q []float64, slack float64, live vector.Chunk
 				budget--
 				if budget < 0 {
 					if staleIsLive {
-						if best >= 0 {
-							return vector.ArgminSqDistanceSeeded(g.flat, g.dim, q, best, bestSq)
+						if g.ext == nil {
+							if best >= 0 {
+								return vector.ArgminSqDistanceSeeded(g.flat, g.dim, q, best, bestSq)
+							}
+							return vector.ArgminSqDistance(g.flat, g.dim, q)
 						}
-						return vector.ArgminSqDistance(g.flat, g.dim, q)
+						// External-id snapshot: scan the stored rows and
+						// tie-break by external id, matching a linear scan
+						// over the caller's id space.
+						for i := 0; i < len(g.keys); i++ {
+							sq := vector.SqDistanceFlat(g.flat[i*g.dim:(i+1)*g.dim], q)
+							if e := int(g.ext[i]); sq < bestSq || (sq == bestSq && (best < 0 || e < best)) {
+								best, bestSq = e, sq
+							}
+						}
+						return best, bestSq
 					}
 					if best < 0 {
 						bestSq = math.Inf(1)
@@ -304,12 +371,13 @@ func (g *DynamicGrid) NearestStale(q []float64, slack float64, live vector.Chunk
 					if !within {
 						continue
 					}
+					eid := g.extOf(id)
 					sq := staleSq
 					if slack != 0 {
-						sq = vector.SqDistanceFlat(live.Row(id), q)
+						sq = vector.SqDistanceFlat(live.Row(eid), q)
 					}
-					if sq < bestSq || (sq == bestSq && id < best) {
-						best, bestSq = id, sq
+					if sq < bestSq || (sq == bestSq && eid < best) {
+						best, bestSq = eid, sq
 						bestDist = math.Sqrt(bestSq)
 						cutoffSq = (bestDist + slack) * (bestDist + slack)
 					}
@@ -391,13 +459,16 @@ func (g *DynamicGrid) Range(q []float64, r float64, out []int) []int {
 		}
 	}
 	if cells > budget {
+		if g.ext != nil {
+			return vector.AppendWithinIDs(g.flat, g.dim, q, cutoffSq, g.ext, out)
+		}
 		return vector.AppendWithin(g.flat, g.dim, q, cutoffSq, 0, out)
 	}
 	copy(coord, lo)
 	for {
 		for _, id := range g.cells[coordHash(coord)] {
 			if _, within := vector.SqDistanceWithin(g.flat[id*g.dim:(id+1)*g.dim], q, cutoffSq); within {
-				out = append(out, id)
+				out = append(out, g.extOf(id))
 			}
 		}
 		j := 0

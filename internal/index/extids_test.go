@@ -1,0 +1,173 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"llmq/internal/vector"
+)
+
+// sparseRows builds a sparse slot space: nSlots chunked rows of which a
+// random subset are live, the rest masked tombstones. Returns the chunked
+// view, the live slot ids ascending, and the compact live matrix.
+func sparseRows(rng *rand.Rand, dim, nSlots int) (vector.Chunked, []int32, []float64) {
+	flat := make([]float64, nSlots*dim)
+	var ids []int32
+	var liveFlat []float64
+	for s := 0; s < nSlots; s++ {
+		row := flat[s*dim : (s+1)*dim]
+		if rng.Float64() < 0.35 {
+			vector.MaskRow(row)
+			continue
+		}
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		ids = append(ids, int32(s))
+		liveFlat = append(liveFlat, row...)
+	}
+	return vector.ChunkedFromFlat(flat, dim), ids, liveFlat
+}
+
+// nearestRef is the reference nearest over the live slots: first strict
+// minimum in ascending slot order.
+func nearestRef(live vector.Chunked, ids []int32, q []float64) (int, float64) {
+	best, bestSq := -1, math.Inf(1)
+	for _, id := range ids {
+		if sq := vector.SqDistanceFlat(live.Row(int(id)), q); sq < bestSq {
+			best, bestSq = int(id), sq
+		}
+	}
+	return best, bestSq
+}
+
+// TestDynamicGridExternalIDs verifies that a grid populated with
+// InsertWithID answers NearestStale and Range in the external (slot) id
+// space exactly as a linear scan over the live slots does — including under
+// a forced visited-cell budget fallback.
+func TestDynamicGridExternalIDs(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		rng := rand.New(rand.NewSource(int64(900 + dim)))
+		live, ids, liveFlat := sparseRows(rng, dim, 400)
+		if len(ids) < 10 {
+			t.Fatalf("dim %d: degenerate live set", dim)
+		}
+		g, err := NewDynamicGrid(dim, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			if _, err := g.InsertWithID(liveFlat[i*dim:(i+1)*dim], id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := g.Insert(liveFlat[:dim]); err == nil {
+			t.Fatal("Insert on an external-id grid should fail")
+		}
+		if err := g.Update(0, liveFlat[:dim]); err == nil {
+			t.Fatal("Update on an external-id grid should fail")
+		}
+		for trial := 0; trial < 300; trial++ {
+			q := make([]float64, dim)
+			for j := range q {
+				q[j] = rng.Float64()*1.2 - 0.1
+			}
+			wantID, wantSq := nearestRef(live, ids, q)
+			// slack 0 (stored rows are the live rows) and a tiny positive
+			// slack (forces the live-row verification path) must agree.
+			for _, slack := range []float64{0, 1e-12} {
+				gotID, gotSq := g.NearestStale(q, slack, live, -1, 0)
+				if gotID != wantID || math.Abs(gotSq-wantSq) > 1e-12*(1+wantSq) {
+					t.Fatalf("dim %d slack %v: NearestStale = (%d, %v), reference = (%d, %v)",
+						dim, slack, gotID, gotSq, wantID, wantSq)
+				}
+			}
+			// Nearest (the no-staleness entry point) must report external
+			// ids too — the stored rows ARE the live rows here.
+			if gotID, gotSq := g.Nearest(q); gotID != wantID || math.Abs(gotSq-wantSq) > 1e-12*(1+wantSq) {
+				t.Fatalf("dim %d: Nearest = (%d, %v), reference = (%d, %v)", dim, gotID, gotSq, wantID, wantSq)
+			}
+			r := 0.05 + 0.3*rng.Float64()
+			got := append([]int(nil), g.Range(q, r, nil)...)
+			sort.Ints(got)
+			uniq := got[:0]
+			for i, id := range got {
+				if i == 0 || id != got[i-1] {
+					uniq = append(uniq, id)
+				}
+			}
+			var want []int
+			for _, id := range ids {
+				if vector.SqDistanceFlat(live.Row(int(id)), q) <= r*r {
+					want = append(want, int(id))
+				}
+			}
+			if len(uniq) < len(want) {
+				t.Fatalf("dim %d: Range missed ids: got %v want %v", dim, uniq, want)
+			}
+			seen := map[int]bool{}
+			for _, id := range uniq {
+				seen[id] = true
+			}
+			for _, id := range want {
+				if !seen[id] {
+					t.Fatalf("dim %d: Range missing live slot %d", dim, id)
+				}
+			}
+		}
+	}
+}
+
+// TestBulkKDTreeExternalIDs verifies NewBulkKDTreeIDs: NearestStale and
+// Range report slot ids and verify against the slot-indexed live view, with
+// and without drift slack, matching the linear-scan reference.
+func TestBulkKDTreeExternalIDs(t *testing.T) {
+	for _, dim := range []int{5, 8} {
+		rng := rand.New(rand.NewSource(int64(950 + dim)))
+		live, ids, liveFlat := sparseRows(rng, dim, 600)
+		tr, err := NewBulkKDTreeIDs(liveFlat, dim, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != len(ids) {
+			t.Fatalf("dim %d: tree holds %d rows, want %d", dim, tr.Len(), len(ids))
+		}
+		var stack []int32
+		for trial := 0; trial < 300; trial++ {
+			q := make([]float64, dim)
+			for j := range q {
+				q[j] = rng.Float64()*1.2 - 0.1
+			}
+			wantID, wantSq := nearestRef(live, ids, q)
+			for _, slack := range []float64{0, 1e-12} {
+				var gotID int
+				var gotSq float64
+				gotID, gotSq, stack = tr.NearestStale(q, slack, live, -1, 0, stack)
+				if gotSq != wantSq && math.Abs(gotSq-wantSq) > 1e-12*(1+wantSq) {
+					t.Fatalf("dim %d slack %v: NearestStale = (%d, %v), reference = (%d, %v)",
+						dim, slack, gotID, gotSq, wantID, wantSq)
+				}
+			}
+			r := 0.2 + 0.4*rng.Float64()
+			var got []int
+			got, stack = tr.Range(q, r, nil, stack, 0)
+			seen := map[int]bool{}
+			for _, id := range got {
+				if seen[id] {
+					t.Fatalf("dim %d: duplicate id %d from tree Range", dim, id)
+				}
+				seen[id] = true
+			}
+			for _, id := range ids {
+				if vector.SqDistanceFlat(live.Row(int(id)), q) <= r*r && !seen[int(id)] {
+					t.Fatalf("dim %d: tree Range missing live slot %d", dim, id)
+				}
+			}
+		}
+		if _, err := NewBulkKDTreeIDs(liveFlat, dim, ids[:len(ids)-1]); err == nil {
+			t.Fatal("short id table should fail")
+		}
+	}
+}

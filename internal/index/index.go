@@ -1,9 +1,24 @@
-// Package index provides the spatial access methods the exact query executor
-// uses to evaluate the dNN (radius) selection operator: given a centre x and
-// radius θ, return every indexed point within Lp distance θ. Three
-// implementations are provided — a linear scan (the baseline the others are
-// validated against), a uniform grid, and a kd-tree — mirroring the indexed
-// selection the paper's PostgreSQL substrate performs with a B-tree.
+// Package index provides the spatial access methods of both sides of the
+// system.
+//
+// For the exact query executor it evaluates the dNN (radius) selection
+// operator — given a centre x and radius θ, return every indexed point
+// within Lp distance θ — with three implementations: a linear scan (the
+// baseline the others are validated against), a uniform grid, and a
+// kd-tree, mirroring the indexed selection the paper's PostgreSQL
+// substrate performs with a B-tree.
+//
+// For the model's serving path it provides the read-epoch structures the
+// prototype store builds over frozen row copies: DynamicGrid (incremental
+// uniform grid, low-dimensional query spaces) and BulkKDTree (bulk-built
+// implicit-layout k-d tree, wide query spaces). Both answer NearestStale
+// and Range queries that stay exact while the live rows drift from the
+// indexed copy — every pruning bound is widened by the caller's drift
+// slack and surviving candidates are verified against live rows — and both
+// can index a sparse slot space through external ids (InsertWithID /
+// NewBulkKDTreeIDs), which is how the bounded prototype store indexes only
+// the live slots of a tombstoned row space. See docs/ARCHITECTURE.md for
+// where each structure sits in the read path.
 package index
 
 import (

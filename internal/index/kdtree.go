@@ -67,6 +67,26 @@ const (
 	kdLeafRowsMax = 64
 )
 
+// NewBulkKDTreeIDs is NewBulkKDTree for a matrix whose rows live in a
+// caller-defined id space: searches report row i of flat under ids[i]
+// instead of i, and NearestStale's live-row verification reads
+// live.Row(ids[i]). The bounded prototype store uses this to index only the
+// live slots of a tombstoned row space — the stale copy is compact, the ids
+// point back at the true chunk-table slots. ids is read, not retained.
+func NewBulkKDTreeIDs(flat []float64, dim int, ids []int32) (*BulkKDTree, error) {
+	t, err := NewBulkKDTree(flat, dim)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) != t.n {
+		return nil, fmt.Errorf("%w: %d ids for %d rows", ErrDimension, len(ids), t.n)
+	}
+	for i, id := range t.ids {
+		t.ids[i] = ids[int(id)]
+	}
+	return t, nil
+}
+
 // NewBulkKDTree bulk-builds a tree over the rows of the flat row-major
 // matrix (len(flat)/dim points). The input is read, not retained: the tree
 // gathers the rows into its own leaf-contiguous buffer.

@@ -71,6 +71,18 @@ func NewGenerator(cfg GenConfig) (*Generator, error) {
 // Config returns the generator configuration.
 func (g *Generator) Config() GenConfig { return g.cfg }
 
+// sampleTheta draws one radius θ ~ N(µθ, σθ²) truncated to θ > 0 by
+// resampling a magnitude around the mean — the single radius rule shared
+// by the stationary and drifting generators, so the two workloads can
+// never silently diverge in their radius distribution.
+func (c GenConfig) sampleTheta(rng *rand.Rand) float64 {
+	theta := c.ThetaMean + c.ThetaStdDev*rng.NormFloat64()
+	if theta <= 0 {
+		theta = c.ThetaMean * (0.5 + 0.5*rng.Float64())
+	}
+	return theta
+}
+
 // Next returns the next random query.
 func (g *Generator) Next() core.Query {
 	center := make([]float64, g.cfg.Dim)
@@ -78,12 +90,7 @@ func (g *Generator) Next() core.Query {
 	for j := range center {
 		center[j] = g.cfg.CenterLo + span*g.rng.Float64()
 	}
-	theta := g.cfg.ThetaMean + g.cfg.ThetaStdDev*g.rng.NormFloat64()
-	if theta <= 0 {
-		// Truncate: resample magnitude around the mean to keep θ > 0.
-		theta = g.cfg.ThetaMean * (0.5 + 0.5*g.rng.Float64())
-	}
-	return core.Query{Center: vector.Of(center...), Theta: theta}
+	return core.Query{Center: vector.Of(center...), Theta: g.cfg.sampleTheta(g.rng)}
 }
 
 // Queries returns n random queries.
@@ -95,19 +102,116 @@ func (g *Generator) Queries(n int) []core.Query {
 	return out
 }
 
-// Harness couples a query generator with the exact executor over one
+// QuerySource produces an analytics query stream: the stationary Generator
+// or the non-stationary DriftingGenerator. Sources are stateful and
+// deterministic for their seed.
+type QuerySource interface {
+	// Config returns the source's base generator configuration.
+	Config() GenConfig
+	// Next returns the next query of the stream.
+	Next() core.Query
+	// Queries returns the next n queries of the stream.
+	Queries(n int) []core.Query
+}
+
+// DriftConfig parameterizes a non-stationary query workload: the centre
+// window slides through the input space as the stream advances — the
+// concept-drift regime that bounded-capacity training
+// (core.Config.MaxPrototypes) exists to track. The window ping-pongs along
+// the diagonal of [CenterLo, CenterHi], so arbitrarily long streams keep
+// moving instead of walking off the data.
+type DriftConfig struct {
+	// Window is the edge length of the sliding centre window, as a fraction
+	// of the [CenterLo, CenterHi] span (0 < Window ≤ 1).
+	Window float64
+	// Velocity is the window displacement per generated query, as a
+	// fraction of the span: after 1/Velocity queries the window has crossed
+	// the space once.
+	Velocity float64
+}
+
+// Validate checks the drift configuration.
+func (c DriftConfig) Validate() error {
+	if c.Window <= 0 || c.Window > 1 {
+		return fmt.Errorf("workload: Window must be in (0, 1], got %v", c.Window)
+	}
+	if c.Velocity <= 0 {
+		return fmt.Errorf("workload: Velocity must be positive, got %v", c.Velocity)
+	}
+	return nil
+}
+
+// DriftingGenerator produces a non-stationary query stream: query centres
+// are uniform inside a window that slides along the diagonal of the centre
+// box as queries are drawn; radii follow the base configuration's Gaussian.
+type DriftingGenerator struct {
+	cfg   GenConfig
+	drift DriftConfig
+	rng   *rand.Rand
+	t     int
+}
+
+// NewDriftingGenerator creates a drifting source from a base generator
+// configuration and a drift profile.
+func NewDriftingGenerator(cfg GenConfig, drift DriftConfig) (*DriftingGenerator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := drift.Validate(); err != nil {
+		return nil, err
+	}
+	return &DriftingGenerator{cfg: cfg, drift: drift, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Config returns the base generator configuration.
+func (g *DriftingGenerator) Config() GenConfig { return g.cfg }
+
+// Position returns the window's current low corner position in [0, 1−Window]
+// (fraction of the centre span) — checkpoints use it to evaluate against
+// the stream's current region.
+func (g *DriftingGenerator) Position() float64 {
+	v := math.Mod(g.drift.Velocity*float64(g.t), 2)
+	if v > 1 {
+		v = 2 - v
+	}
+	return v * (1 - g.drift.Window)
+}
+
+// Next returns the next query and advances the window.
+func (g *DriftingGenerator) Next() core.Query {
+	span := g.cfg.CenterHi - g.cfg.CenterLo
+	lo := g.cfg.CenterLo + g.Position()*span
+	w := g.drift.Window * span
+	g.t++
+	center := make([]float64, g.cfg.Dim)
+	for j := range center {
+		center[j] = lo + w*g.rng.Float64()
+	}
+	return core.Query{Center: vector.Of(center...), Theta: g.cfg.sampleTheta(g.rng)}
+}
+
+// Queries returns the next n queries of the drifting stream.
+func (g *DriftingGenerator) Queries(n int) []core.Query {
+	out := make([]core.Query, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Harness couples a query source with the exact executor over one
 // relation; it produces training pairs and evaluates trained models against
 // the exact baselines.
 type Harness struct {
 	Exec *exec.Executor
-	Gen  *Generator
+	Gen  QuerySource
 }
 
-// NewHarness builds a harness. Both the executor and generator are required,
-// and their dimensionalities must agree.
-func NewHarness(e *exec.Executor, g *Generator) (*Harness, error) {
+// NewHarness builds a harness. Both the executor and query source are
+// required, and their dimensionalities must agree.
+func NewHarness(e *exec.Executor, g QuerySource) (*Harness, error) {
 	if e == nil || g == nil {
-		return nil, errors.New("workload: executor and generator are required")
+		return nil, errors.New("workload: executor and query source are required")
 	}
 	if len(e.InputNames()) != g.Config().Dim {
 		return nil, fmt.Errorf("workload: executor has %d input attributes, generator dim is %d",

@@ -20,9 +20,12 @@
 #       dropped. With --fail-over, the compare becomes a regression gate:
 #       it exits non-zero when any benchmark whose name matches REGEX
 #       (default: every joined benchmark) is more than PCT percent slower
-#       in NEW than in OLD. CI runs this against the latest committed
-#       BENCH_n.json with a generous threshold — smoke benchtimes are
-#       noisy, so the gate only catches order-of-magnitude regressions.
+#       in NEW than in OLD, OR is present in NEW but missing from OLD — a
+#       gated benchmark with no baseline has dodged the gate (typically a
+#       rename), which must fail loudly, not silently pass. CI runs this
+#       against the latest committed BENCH_n.json with a generous threshold
+#       — smoke benchtimes are noisy, so the gate only catches
+#       order-of-magnitude regressions.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -67,10 +70,26 @@ if [ "${1:-}" = "compare" ]; then
         }
         for (i = 1; i <= n; i++) {
             name = order[i]
-            if (!(name in oldseen)) printf "%-64s %12s %12.5g   (new)\n", name, "-", newns[name]
+            if (!(name in oldseen)) {
+                printf "%-64s %12s %12.5g   (new)\n", name, "-", newns[name]
+                # A gated benchmark with no baseline dodges the regression
+                # check entirely (usually a rename): fail loudly instead of
+                # letting the gate pass vacuously.
+                if (failover != "" && name ~ failre) {
+                    fails[++nfail] = sprintf("%s matches the gate but has no baseline in %s (renamed?)", name, oldfile)
+                }
+            }
         }
         for (name in oldseen) {
-            if (!(name in newseen)) printf "%-64s %12.5g %12s   (gone)\n", name, oldns[name], "-"
+            if (!(name in newseen)) {
+                printf "%-64s %12.5g %12s   (gone)\n", name, oldns[name], "-"
+                # The other half of a rename: a gated baseline benchmark
+                # that vanished from the current run is no longer being
+                # measured at all — fail rather than gate vacuously.
+                if (failover != "" && name ~ failre) {
+                    fails[++nfail] = sprintf("%s matches the gate but vanished from %s (renamed?)", name, newfile)
+                }
+            }
         }
         if (nfail > 0) {
             printf "\nFAIL: %d benchmark(s) past the --fail-over %s%% gate:\n", nfail, failover
@@ -101,6 +120,8 @@ go test -run '^$' -bench 'BenchmarkObservePublish|BenchmarkTrainThroughput' \
     -benchtime "${PUBLISH_BENCHTIME:-2000x}" ./internal/core/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkEpochRebuild' \
     -benchtime "${REBUILD_BENCHTIME:-50x}" ./internal/core/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkStreamingEviction' \
+    -benchtime "${EVICT_BENCHTIME:-500x}" ./internal/core/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkPredictBatch|BenchmarkServeThroughput' \
     -benchtime "${BATCH_BENCHTIME:-100x}" . >>"$tmp"
 

@@ -1,0 +1,135 @@
+// Command doclint enforces doc comments on the packages whose internals the
+// architecture guide documents: every listed package must carry a package
+// doc comment, and every exported top-level declaration (functions, methods
+// on exported types, types, and const/var groups) must be documented. It is
+// the CI doc-comment gate — a dependency-free stand-in for revive's
+// exported rule — so the package docs referenced by docs/ARCHITECTURE.md
+// cannot silently rot.
+//
+// Usage:
+//
+//	go run ./scripts/doclint internal/core internal/index internal/vector
+//
+// Exits non-zero listing every undocumented exported declaration.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint PKGDIR...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported declaration(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory (tests excluded) and reports every
+// exported declaration without a doc comment. Returns the violation count.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			fmt.Printf("%s: package %s has no package doc comment\n", dir, pkg.Name)
+			bad++
+		}
+		for name, f := range pkg.Files {
+			bad += lintFile(fset, filepath.Base(name), f)
+		}
+	}
+	return bad
+}
+
+func lintFile(fset *token.FileSet, name string, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: exported %s is undocumented\n", name, p.Line, what)
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			// Methods count when their receiver's base type is exported.
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			report(d.Pos(), "function/method "+d.Name.Name)
+			bad++
+		case *ast.GenDecl:
+			// A doc comment on the group covers every spec inside it (the
+			// idiomatic style for error variables and constant blocks);
+			// otherwise each exported spec needs its own.
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type "+s.Name.Name)
+						bad++
+					}
+				case *ast.ValueSpec:
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(s.Pos(), "const/var "+n.Name)
+							bad++
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// exportedReceiver reports whether a method receiver names an exported type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return false
+		}
+	}
+}
