@@ -32,6 +32,7 @@ import (
 	"llmq/internal/exec"
 	"llmq/internal/sqlfront"
 	"llmq/internal/synth"
+	"llmq/internal/wal"
 	"llmq/internal/workload"
 )
 
@@ -244,9 +245,15 @@ func cmdTrain(args []string, out io.Writer) error {
 	thetaMean := fs.Float64("theta", 0, "mean query radius µθ (default: 10% of the average attribute range)")
 	seed := fs.Int64("seed", 1, "random seed for the query workload")
 	output := fs.String("o", "model.json", "output model path")
+	dataDir := fs.String("data-dir", "", "durable model directory: WAL-log every training pair and checkpoint the result, resumable by serve -data-dir")
+	walSync := fs.String("wal-sync", "group", "WAL fsync policy under -data-dir: group, always or none")
+	snapEvery := fs.Int("snapshot-every", 4096, "training pairs between WAL snapshot rotations under -data-dir")
 	getCap := capacityFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *dataDir == "" && (*walSync != "group" || *snapEvery != 4096) {
+		return errors.New("train: -wal-sync/-snapshot-every need -data-dir")
 	}
 	if *data == "" {
 		return errors.New("train: -data is required")
@@ -309,16 +316,56 @@ func cmdTrain(args []string, out io.Writer) error {
 		return errors.New("train: -evict/-merge require -max-prototypes")
 	}
 	start := time.Now()
-	m, res, trainPairs, err := h.TrainModel(cfg, *pairs)
-	if err != nil {
-		return err
+	var (
+		m          *core.Model
+		res        core.TrainingResult
+		trainPairs []core.TrainingPair
+	)
+	if *dataDir != "" {
+		// Durable training: every pair is write-ahead logged before it is
+		// applied and the result is checkpointed on Close, so the directory
+		// is resumable (serve -data-dir, or another train run) and a crash
+		// mid-training loses at most the unsynced tail. An existing
+		// directory is recovered first and trained on top — its embedded
+		// configuration wins over the flags.
+		mode, err := wal.ParseSyncMode(*walSync)
+		if err != nil {
+			return err
+		}
+		trainPairs, err = h.TrainingPairs(*pairs)
+		if err != nil {
+			return err
+		}
+		d, err := core.Recover(*dataDir, cfg, core.DurableOptions{
+			WAL:           wal.Options{Mode: mode},
+			SnapshotEvery: *snapEvery,
+		})
+		if err != nil {
+			return err
+		}
+		if prior := d.Model().Steps(); prior > 0 {
+			fmt.Fprintf(out, "recovered %d prior training pairs (K=%d) from %s\n", prior, d.Model().K(), *dataDir)
+		}
+		res, err = d.TrainBatch(trainPairs)
+		if err != nil {
+			_ = d.Close()
+			return err
+		}
+		if err := d.Close(); err != nil {
+			return err
+		}
+		m = d.Model()
+	} else {
+		var err error
+		m, res, trainPairs, err = h.TrainModel(cfg, *pairs)
+		if err != nil {
+			return err
+		}
 	}
-	f, err := os.Create(*output)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := m.Save(f); err != nil {
+	// The model file appears atomically (temp + fsync + rename): a crash or
+	// ENOSPC mid-write leaves the previous file, never a torn JSON prefix a
+	// query-processing node would fail to load.
+	if err := wal.WriteFileAtomic(*output, m.Save); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "trained on %d query/answer pairs in %v: K=%d prototypes, converged=%v (Γ=%.4g)\n",

@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"llmq/internal/core"
+	"llmq/internal/dataset"
 	"llmq/internal/serve"
+	"llmq/internal/wal"
 )
 
 // cmdServe stands up the HTTP analytics service of internal/serve over one
@@ -26,6 +28,9 @@ func cmdServe(args []string, out io.Writer) error {
 	modelPath := fs.String("model", "", "trained model JSON (optional; required for APPROX statements)")
 	addr := fs.String("addr", ":8080", "listen address, host:port")
 	cell := fs.Float64("cell", 0, "spatial-index cell size (default: auto from the data bounds)")
+	dataDir := fs.String("data-dir", "", "durable model directory: recover the model from its snapshots+WAL on boot and WAL-log /train traffic (mutually exclusive with -model)")
+	walSync := fs.String("wal-sync", "group", "WAL fsync policy under -data-dir: group, always or none")
+	snapEvery := fs.Int("snapshot-every", 4096, "training pairs between WAL snapshot rotations under -data-dir")
 	getCap := capacityFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -33,17 +38,47 @@ func cmdServe(args []string, out io.Writer) error {
 	if *data == "" {
 		return errors.New("serve: -data is required")
 	}
-	s, info, err := buildServer(*data, *modelPath, *cell, getCap())
+	var (
+		s    *serve.Server
+		d    *core.Durable
+		info string
+		err  error
+	)
+	if *dataDir != "" {
+		if *modelPath != "" {
+			// The data dir is the durable source of truth; loading a second
+			// model beside it would leave /train traffic split between two
+			// states. `llmq train -data-dir` seeds a directory from scratch.
+			return errors.New("serve: -model and -data-dir are mutually exclusive")
+		}
+		s, d, info, err = buildDurableServer(*data, *dataDir, *walSync, *snapEvery, *cell, getCap())
+	} else {
+		if *walSync != "group" || *snapEvery != 4096 {
+			return errors.New("serve: -wal-sync/-snapshot-every need -data-dir")
+		}
+		s, info, err = buildServer(*data, *modelPath, *cell, getCap())
+	}
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		if d != nil {
+			_ = d.Close()
+		}
 		return fmt.Errorf("serve: %w", err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serveUntil(ctx, s, ln, out, info)
+	serr := serveUntil(ctx, s, ln, out, info)
+	if d != nil {
+		// The final checkpoint: pairs ingested since the last rotation are
+		// folded into a fresh snapshot so the next boot replays nothing.
+		if cerr := d.Close(); cerr != nil && serr == nil {
+			serr = fmt.Errorf("serve: close durable store: %w", cerr)
+		}
+	}
+	return serr
 }
 
 // shutdownTimeout bounds the graceful drain: in-flight handlers get this
@@ -121,4 +156,88 @@ func buildServer(dataPath, modelPath string, cell float64, cp capacity) (*serve.
 		info += " without a model (exact statements only)"
 	}
 	return s, info, nil
+}
+
+// buildDurableServer recovers (or freshly creates) the durable model in
+// dataDir and wires the HTTP handler around it: statements answer from the
+// recovered state, and /train traffic is write-ahead logged. A fresh
+// directory starts an empty model with the paper's default configuration
+// derived from the dataset (the same vigilance formula the train subcommand
+// uses, at its default resolution); a recovered one keeps the configuration
+// embedded in its snapshot. Capacity flags apply either way — and, on a
+// recovered model, force an immediate checkpoint, because SetCapacity is
+// not a WAL-logged event and replaying the tail under the old cap would
+// reconstruct a different model.
+func buildDurableServer(dataPath, dataDir, walSync string, snapEvery int, cell float64, cp capacity) (*serve.Server, *core.Durable, string, error) {
+	e, ds, err := loadExecutor(dataPath, cell)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	mode, err := wal.ParseSyncMode(walSync)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	cfg, err := defaultModelConfig(ds)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	if cp.maxProto > 0 {
+		// Bake the capacity into the fresh-directory config too, so the very
+		// first checkpoint already carries it.
+		policy, perr := core.ParseEvictionPolicy(cp.evict)
+		if perr != nil {
+			return nil, nil, "", perr
+		}
+		cfg.MaxPrototypes = cp.maxProto
+		cfg.Eviction = policy
+		cfg.MergeOnEvict = cp.merge
+	}
+	d, err := core.Recover(dataDir, cfg, core.DurableOptions{
+		WAL:           wal.Options{Mode: mode},
+		SnapshotEvery: snapEvery,
+	})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	fail := func(err error) (*serve.Server, *core.Durable, string, error) {
+		_ = d.Close()
+		return nil, nil, "", err
+	}
+	if cp.any() {
+		if err := applyCapacity(d.Model(), cp); err != nil {
+			return fail(err)
+		}
+		if err := d.Snapshot(); err != nil {
+			return fail(err)
+		}
+	}
+	if k := d.Model().Config().Dim; k != ds.Dim() {
+		return fail(fmt.Errorf("recovered model dim %d does not match the relation's %d input attributes", k, ds.Dim()))
+	}
+	s, err := serve.NewDurable(e, d)
+	if err != nil {
+		return fail(err)
+	}
+	info := fmt.Sprintf("%q (%d tuples, %d input attributes) with a durable K=%d model (%d steps, %s sync) in %s",
+		ds.Name, ds.Len(), ds.Dim(), d.Model().K(), d.Model().Steps(), mode, dataDir)
+	return s, d, info, nil
+}
+
+// defaultModelConfig derives the fresh-directory training configuration from
+// the dataset: the paper's defaults with the vigilance formula the train
+// subcommand uses at its default resolution a and mean radius.
+func defaultModelConfig(ds *dataset.Dataset) (core.Config, error) {
+	b, err := ds.Bounds()
+	if err != nil {
+		return core.Config{}, err
+	}
+	span := 0.0
+	for j := range b.InputMax {
+		span += b.InputMax[j] - b.InputMin[j]
+	}
+	span /= float64(ds.Dim())
+	theta := span / 10
+	cfg := core.DefaultConfig(ds.Dim())
+	cfg.Vigilance = 0.25 * (span*sqrtDim(ds.Dim()) + theta)
+	return cfg, nil
 }

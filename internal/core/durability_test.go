@@ -1,0 +1,449 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"llmq/internal/wal"
+)
+
+// durableConfig is a small capped configuration that exercises everything the
+// durability contract must carry: RLS solver state, WinDecay win counts and
+// stamps, eviction, and an un-reachable convergence threshold so every pair
+// keeps training.
+func durableConfig() Config {
+	cfg := DefaultConfig(3)
+	cfg.Vigilance = 0.5
+	cfg.MaxPrototypes = 16
+	cfg.Eviction = WinDecay{HalfLife: 64}
+	// Unreachable convergence: a converged model freezes and stops counting
+	// steps, which would make step-count assertions depend on where the
+	// stream happens to converge.
+	cfg.Gamma = 1e-12
+	cfg.MinGammaSteps = 1 << 30
+	return cfg
+}
+
+// checkpointBytes snapshots the full training state.
+func checkpointBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// canonicalState is checkpointBytes made slot-order independent: recovery
+// compacts tombstoned slots away, so two models can hold identical prototypes
+// under permuted slot ids. Sorting the llms array by their encoding compares
+// the state, not the numbering.
+func canonicalState(t *testing.T, m *Model) string {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(checkpointBytes(t, m), &doc); err != nil {
+		t.Fatal(err)
+	}
+	llms, _ := doc["llms"].([]any)
+	enc := make([]string, len(llms))
+	for i, l := range llms {
+		b, err := json.Marshal(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = string(b)
+	}
+	sort.Strings(enc)
+	doc["llms"] = enc
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestLoadTornPrefix cuts a saved model at arbitrary byte offsets — the torn
+// file a non-atomic writer leaves after a crash — and requires Load to fail
+// with ErrBadModelFile and a message locating the damage, never to succeed on
+// or panic over a prefix.
+func TestLoadTornPrefix(t *testing.T) {
+	m, err := NewModel(durableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(planeStream(500, 3, 0.3, []float64{0.5, -0.2, 1.1}, 1.0, 7)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// len-1 is excluded: the document ends "}\n", so cutting only the final
+	// newline still leaves complete JSON, which Load rightly accepts.
+	cuts := []int{0, 1, 10, len(full) / 4, len(full) / 2, len(full) - 2}
+	for _, cut := range cuts {
+		_, err := Load(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrBadModelFile) {
+			t.Errorf("prefix of %d/%d bytes: err = %v, want ErrBadModelFile", cut, len(full), err)
+			continue
+		}
+		if !strings.Contains(err.Error(), "byte offset") {
+			t.Errorf("prefix of %d bytes: error %q does not locate the damage", cut, err)
+		}
+	}
+	// Corruption mid-file (a flipped structural byte) must also be located.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] = '}'
+	if _, err := Load(bytes.NewReader(corrupt)); !errors.Is(err, ErrBadModelFile) {
+		t.Errorf("mid-file corruption: err = %v, want ErrBadModelFile", err)
+	}
+}
+
+// TestSaveLoadSaveByteIdentical is the persistence contract for the win-decay
+// state: win counts, last-win stamps and the step counter must survive a
+// Save/Load cycle exactly, which the second Save proves byte for byte (any
+// dropped or defaulted field would change the encoding).
+func TestSaveLoadSaveByteIdentical(t *testing.T) {
+	m, err := NewModel(durableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(planeStream(2000, 3, 0.3, []float64{0.5, -0.2, 1.1}, 1.0, 13)); err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := m.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("Save∘Load∘Save is not the identity: win/stamp/step state was dropped or defaulted")
+	}
+}
+
+// TestCheckpointRoundTrip proves the two halves of the recovery contract
+// separately from the WAL: a checkpoint reloads to the same checkpoint byte
+// for byte (nothing training touches is missing, RLS matrices included), and
+// the reloaded model trained on more pairs stays equivalent to the original
+// trained on the same pairs (nothing it carries is stale).
+func TestCheckpointRoundTrip(t *testing.T) {
+	pairs := planeStream(3000, 3, 0.3, []float64{0.5, -0.2, 1.1}, 1.0, 17)
+	m, err := NewModel(durableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TrainBatch(pairs[:2000]); err != nil {
+		t.Fatal(err)
+	}
+	cp := checkpointBytes(t, m)
+	loaded, err := Load(bytes.NewReader(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := checkpointBytes(t, loaded); !bytes.Equal(cp, got) {
+		t.Fatal("Checkpoint∘Load∘Checkpoint is not the identity")
+	}
+	if _, err := m.TrainBatch(pairs[2000:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.TrainBatch(pairs[2000:]); err != nil {
+		t.Fatal(err)
+	}
+	if canonicalState(t, m) != canonicalState(t, loaded) {
+		t.Fatal("original and reloaded models diverged on identical continuation pairs")
+	}
+}
+
+// TestRecoverDurableRoundTrip drives the Durable lifecycle end to end: train
+// through the WAL, close cleanly, recover, and require the recovered model to
+// equal a plain in-memory model fed the identical pair sequence.
+func TestRecoverDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pairs := planeStream(1200, 3, 0.3, []float64{0.5, -0.2, 1.1}, 1.0, 19)
+	opts := DurableOptions{WAL: wal.Options{Mode: wal.SyncNone}, SnapshotEvery: 300}
+	d, err := Recover(dir, durableConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.TrainBatch(pairs[:700]); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs[700:] {
+		if _, err := d.Observe(p.Query, p.Answer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := canonicalState(t, d.Model())
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err = Recover(dir, durableConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Model().Steps() != len(pairs) {
+		t.Fatalf("recovered %d steps, want %d", d.Model().Steps(), len(pairs))
+	}
+	if got := canonicalState(t, d.Model()); got != want {
+		t.Fatal("recovered model differs from the model at Close")
+	}
+	ref, err := NewModel(durableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.TrainBatch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if got := canonicalState(t, ref); got != want {
+		t.Fatal("recovered model differs from a plain model fed the same pairs")
+	}
+}
+
+// TestRecoverTruncatesTornTail injects garbage at the tail of the live
+// segment — the on-disk signature of a crash mid-append — and requires
+// recovery to keep every intact record, truncate the tail loudly, and resume
+// appending at the cut.
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	pairs := planeStream(200, 3, 0.3, []float64{0.5, -0.2, 1.1}, 1.0, 23)
+	opts := DurableOptions{WAL: wal.Options{Mode: wal.SyncNone}, SnapshotEvery: 1 << 30}
+	d, err := Recover(dir, durableConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.TrainBatch(pairs[:150]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	seg := wal.SegmentPath(dir, d.Gen())
+	// Abandon d without Close — the crash — and tear the tail by hand.
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var logs []string
+	var logMu sync.Mutex
+	opts.Logf = func(format string, args ...any) {
+		logMu.Lock()
+		logs = append(logs, format)
+		logMu.Unlock()
+	}
+	d2, err := Recover(dir, durableConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Model().Steps() != 150 {
+		t.Fatalf("recovered %d steps, want 150", d2.Model().Steps())
+	}
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "torn") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("torn-tail truncation was silent; logs: %q", logs)
+	}
+	// Appending must resume cleanly at the cut.
+	for _, p := range pairs[150:] {
+		if _, err := d2.Observe(p.Query, p.Answer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d2.Model().Steps() != len(pairs) {
+		t.Fatalf("steps after resume = %d, want %d", d2.Model().Steps(), len(pairs))
+	}
+}
+
+// TestRecoverFallsBackToPreviousSnapshot corrupts the newest snapshot and
+// requires recovery to fall back one generation and replay the extra segment
+// — landing on the same model, because replay is deterministic.
+func TestRecoverFallsBackToPreviousSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	pairs := planeStream(500, 3, 0.3, []float64{0.5, -0.2, 1.1}, 1.0, 29)
+	opts := DurableOptions{WAL: wal.Options{Mode: wal.SyncNone}, SnapshotEvery: 100}
+	d, err := Recover(dir, durableConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if _, err := d.Observe(p.Query, p.Answer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := canonicalState(t, d.Model())
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := wal.List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Snapshots) < 2 {
+		t.Fatalf("need a fallback generation, have snapshots %v", man.Snapshots)
+	}
+	newest := man.Snapshots[len(man.Snapshots)-1]
+	if err := os.WriteFile(wal.SnapshotPath(dir, newest), []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logs []string
+	opts.Logf = func(format string, args ...any) { logs = append(logs, format) }
+	d2, err := Recover(dir, durableConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := canonicalState(t, d2.Model()); got != want {
+		t.Fatal("fallback recovery landed on a different model")
+	}
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "falling back") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("snapshot fallback was silent; logs: %q", logs)
+	}
+}
+
+// TestRecoverMissingSegmentFails removes a segment the fallback path depends
+// on: that is data loss, not a crash artifact, and recovery must refuse with
+// an error naming the missing file rather than rebuild a silently wrong model.
+func TestRecoverMissingSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	pairs := planeStream(300, 3, 0.3, []float64{0.5, -0.2, 1.1}, 1.0, 31)
+	opts := DurableOptions{WAL: wal.Options{Mode: wal.SyncNone}, SnapshotEvery: 100}
+	d, err := Recover(dir, durableConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.TrainBatch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := wal.List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := man.Snapshots[len(man.Snapshots)-1]
+	// Newest snapshot unreadable AND the fallback's segment gone: nothing
+	// loadable remains above the damage.
+	if err := os.WriteFile(wal.SnapshotPath(dir, newest), []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(wal.SegmentPath(dir, newest-1)); err != nil {
+		t.Fatal(err)
+	}
+	opts.Logf = func(string, ...any) {}
+	if _, err := Recover(dir, durableConfig(), opts); err == nil {
+		t.Fatal("recovery over missing segment succeeded")
+	} else if !strings.Contains(err.Error(), filepath.Base(wal.SegmentPath(dir, newest-1))) {
+		t.Errorf("error %q does not name the missing segment", err)
+	}
+}
+
+// TestDurableConcurrentSnapshotObserve runs live durable training, forced
+// snapshot rotations, lock-free Saves and pinned-View readers against each
+// other; under -race this proves snapshotting never tears the state a reader
+// or the WAL order observes.
+func TestDurableConcurrentSnapshotObserve(t *testing.T) {
+	dir := t.TempDir()
+	pairs := planeStream(800, 3, 0.3, []float64{0.5, -0.2, 1.1}, 1.0, 37)
+	d, err := Recover(dir, durableConfig(), DurableOptions{
+		WAL: wal.Options{Mode: wal.SyncNone}, SnapshotEvery: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // forced rotations racing the cadence-driven ones
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := d.Snapshot(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // lock-free readers: pinned views and Saves
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(41))
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			v := d.View()
+			if v.K() > 0 {
+				q := pairs[rng.Intn(len(pairs))].Query
+				if _, err := v.PredictMean(q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := d.Model().Save(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for _, p := range pairs {
+		if _, err := d.Observe(p.Query, p.Answer); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The WAL must have captured every pair despite the interleaving.
+	d2, err := Recover(dir, durableConfig(), DurableOptions{WAL: wal.Options{Mode: wal.SyncNone}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Model().Steps() != len(pairs) {
+		t.Fatalf("recovered %d steps, want %d", d2.Model().Steps(), len(pairs))
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"llmq/internal/wal"
+)
+
+// durableOver wraps an already-built model in a Durable appending to a fresh
+// log in dir, bypassing Recover so the 1k-prototype fixture builds by direct
+// insertion (the log need not cover the fixture: the benchmark measures the
+// per-pair append+apply path, not recovery of the fixture itself).
+// SnapshotEvery is effectively infinite so no rotation lands mid-measurement.
+func durableOver(tb testing.TB, m *Model, dir string, mode wal.SyncMode) *Durable {
+	tb.Helper()
+	l, err := wal.Continue(dir, wal.Options{Mode: mode})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &Durable{m: m, opts: DurableOptions{SnapshotEvery: 1 << 30}.withDefaults(), log: l}
+}
+
+// BenchmarkWALAppend measures the durable per-pair write path — WAL append
+// under each sync policy, then the same winner-update Observe that
+// BenchmarkObservePublish measures bare — on the K=1k fixture. The durability
+// acceptance criterion compares sync=group here against
+// BenchmarkObservePublish/K=1k: group fsync amortizes the flush over
+// FlushBatch pairs, so durable ingestion must stay within ~2× of the
+// in-memory path. sync=none bounds the pure framing+write cost; sync=always
+// is the one-fsync-per-pair floor for callers that cannot tolerate losing a
+// single acknowledged pair. scripts/bench.sh records it in BENCH_6.json.
+func BenchmarkWALAppend(b *testing.B) {
+	const dim, K, vig = 2, 1_000, 0.03
+	for _, mode := range []wal.SyncMode{wal.SyncGroup, wal.SyncNone, wal.SyncAlways} {
+		b.Run(fmt.Sprintf("sync=%s", mode), func(b *testing.B) {
+			m := buildPublishBenchModel(b, dim, K, vig, 0.05, 0.15)
+			d := durableOver(b, m, b.TempDir(), mode)
+			defer d.log.Close()
+			rng := rand.New(rand.NewSource(9))
+			queries := make([]Query, 4096)
+			for i := range queries {
+				queries[i] = perturbedQuery(rng, m.View(), vig)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Observe(queries[i%len(queries)], 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures replay-on-boot: Recover over a directory whose
+// newest snapshot is missing its tail, so every op re-reads and re-applies
+// the whole tail through TrainBatch. ns/pair is the per-record replay cost;
+// SnapshotEvery bounds the tail length, so boot time is this number times
+// the configured cadence (plus one snapshot load).
+func BenchmarkRecovery(b *testing.B) {
+	for _, tail := range []int{4_096, 16_384} {
+		b.Run(fmt.Sprintf("tail=%d", tail), func(b *testing.B) {
+			dir := b.TempDir()
+			cfg := durableConfig()
+			pairs := planeStream(tail, 3, 0.3, []float64{0.5, -0.2, 1.1}, 1.0, 43)
+			opts := DurableOptions{WAL: wal.Options{Mode: wal.SyncNone}, SnapshotEvery: 1 << 30}
+			d, err := Recover(dir, cfg, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.TrainBatch(pairs); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			// Close the segment without Close's rotation: the directory must
+			// keep its replay tail identical across iterations.
+			if err := d.log.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := Recover(dir, cfg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Model().Steps() != tail {
+					b.Fatalf("recovered %d steps, want %d", r.Model().Steps(), tail)
+				}
+				if err := r.log.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*tail), "ns/pair")
+		})
+	}
+}

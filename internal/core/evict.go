@@ -163,6 +163,7 @@ func (m *Model) evictLocked(protect int) int {
 	policy := normalizeEviction(cc.policy, max)
 	type scored struct {
 		slot  int
+		stamp int
 		score float64
 	}
 	cands := make([]scored, 0, s.live)
@@ -170,11 +171,22 @@ func (m *Model) evictLocked(protect int) int {
 		if k == protect || s.isTombstone(k) {
 			continue
 		}
-		cands = append(cands, scored{k, policy.Score(s.win(k), m.steps-s.stamp(k))})
+		cands = append(cands, scored{k, s.stamp(k), policy.Score(s.win(k), m.steps-s.stamp(k))})
 	}
+	// Ties break on the last-win stamp (older loses), then the slot id.
+	// Exact score ties are real — the policies map small-integer inputs
+	// through float arithmetic — and the stamp is the tie-break that is
+	// stable across slot renumbering: stamps are unique among live
+	// prototypes (one winner per step; a merge inherits the later stamp),
+	// while slot ids get permuted whenever a Load or compaction rebuilds
+	// the slot space. Without this, a model recovered from a checkpoint
+	// could evict a different prototype than the uncrashed run.
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].score != cands[j].score {
 			return cands[i].score < cands[j].score
+		}
+		if cands[i].stamp != cands[j].stamp {
+			return cands[i].stamp < cands[j].stamp
 		}
 		return cands[i].slot < cands[j].slot
 	})

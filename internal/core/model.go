@@ -245,7 +245,7 @@ func NewModel(cfg Config) (*Model, error) {
 // The caller holds the writer lock (or, during construction/Load, is the
 // sole owner of the model).
 func (m *Model) publishLocked() {
-	m.snap.Store(m.store.publish(m.cfg.Dim, m.steps, m.converged, m.lastGamma))
+	m.snap.Store(m.store.publish(m.cfg.Dim, m.steps, m.converged, m.lastGamma, m.quietSteps))
 }
 
 // View pins the current published model version: every method of the

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sync"
+
+	"llmq/internal/wal"
+)
+
+// The durability layer: a Model wrapped so that every training pair is
+// written ahead to a wal.Log before it is applied, periodic Checkpoint
+// snapshots bound the replay work, and Recover reconstructs the exact
+// model — bit for bit, including the solver state and the eviction clock —
+// from whatever a crash left in the data directory. The contract chain:
+//
+//	Checkpoint persists everything training touches        (serialize.go)
+//	training is deterministic given the pair sequence      (model.go)
+//	the WAL totally orders the pair sequence               (Durable.mu)
+//	=> newest loadable snapshot + tail replay ≡ no crash.
+
+// DurableOptions configures Recover and the Durable it returns.
+type DurableOptions struct {
+	// WAL configures the write-ahead log's sync policy; the zero value is
+	// group fsync with the default interval and batch.
+	WAL wal.Options
+	// SnapshotEvery is the number of training pairs between automatic
+	// snapshot rotations. Smaller values bound replay-on-boot time at the
+	// cost of more frequent full-model writes; values ≤ 0 default to 4096.
+	SnapshotEvery int
+	// Logf receives the loud recovery diagnostics (torn-tail truncation,
+	// snapshot fallback). nil uses the standard library logger.
+	Logf func(format string, args ...any)
+}
+
+func (o DurableOptions) withDefaults() DurableOptions {
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 4096
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// Durable is a Model whose training stream survives crashes: Observe and
+// TrainBatch append each pair to the write-ahead log under the configured
+// sync policy before applying it, and every SnapshotEvery pairs the model
+// is checkpointed and the log rotated. Obtain one with Recover. Training
+// calls serialize on the Durable (they must — the WAL order is the replay
+// order); the wrapped Model's read side stays lock-free, so serving traffic
+// is unaffected. All training must go through the Durable: a pair applied
+// directly to Model() bypasses the log and is lost on the next crash.
+type Durable struct {
+	m    *Model
+	opts DurableOptions
+
+	mu        sync.Mutex // orders append-then-apply; excludes rotation
+	log       *wal.Log
+	sinceSnap int // pairs appended since the last snapshot
+}
+
+// Recover reconstructs the model from the data directory and opens it for
+// durable training: the newest loadable snapshot is loaded (an unreadable
+// one is skipped with a loud log line, falling back to the previous
+// generation — whose segments rotation retained for exactly this case) and
+// the remaining WAL segments are replayed through the normal training path.
+// A torn record at the tail of the newest segment is the signature of a
+// crash mid-append: it is truncated away, loudly, and appending resumes at
+// the cut. Corruption anywhere else — an unreadable non-newest segment, a
+// missing generation — is data loss, not a crash artifact, and fails
+// recovery with a descriptive error. A fresh or empty directory starts an
+// empty model with the given configuration; cfg is only used in that case
+// (an existing snapshot carries its own configuration).
+func Recover(dir string, cfg Config, opts DurableOptions) (*Durable, error) {
+	opts = opts.withDefaults()
+	man, err := wal.List(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Choose the recovery base: the newest snapshot that actually loads,
+	// else a fresh model replaying from segment 0.
+	var (
+		m       *Model
+		baseGen uint64
+	)
+	for i := len(man.Snapshots) - 1; i >= 0; i-- {
+		gen := man.Snapshots[i]
+		path := wal.SnapshotPath(dir, gen)
+		lm, lerr := loadSnapshotFile(path)
+		if lerr != nil {
+			opts.Logf("core: recovery: snapshot %s unreadable (%v); falling back to previous generation", path, lerr)
+			continue
+		}
+		m, baseGen = lm, gen
+		break
+	}
+	if m == nil {
+		if len(man.Snapshots) > 0 {
+			opts.Logf("core: recovery: no loadable snapshot in %s; replaying the full log from segment 0", dir)
+		}
+		m, err = NewModel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		baseGen = 0
+	}
+
+	// The segments to replay: every generation ≥ the base, contiguously.
+	// A gap means a segment the state depends on is gone — rotation only
+	// deletes generations two snapshots back, so a hole is real data loss.
+	var replay []uint64
+	for _, g := range man.Segments {
+		if g >= baseGen {
+			replay = append(replay, g)
+		}
+	}
+	if len(replay) > 0 {
+		if replay[0] != baseGen {
+			return nil, fmt.Errorf("core: recovery: snapshot generation %d needs segment %s, which is missing", baseGen, wal.SegmentPath(dir, baseGen))
+		}
+		for i := 1; i < len(replay); i++ {
+			if replay[i] != replay[i-1]+1 {
+				return nil, fmt.Errorf("core: recovery: missing segment %s", wal.SegmentPath(dir, replay[i-1]+1))
+			}
+		}
+	}
+	replayed := 0
+	for i, gen := range replay {
+		newest := i == len(replay)-1
+		n, err := replaySegment(m, dir, gen, newest, opts.Logf)
+		if err != nil {
+			return nil, err
+		}
+		replayed += n
+	}
+
+	l, err := wal.Continue(dir, opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	// Replayed records count toward the snapshot cadence: they are exactly
+	// the replay debt the next boot would pay again, so the next rotation —
+	// or a clean Close — folds them into a snapshot instead of letting a
+	// kill-restart cycle replay the same tail forever.
+	return &Durable{m: m, opts: opts, log: l, sinceSnap: replayed}, nil
+}
+
+// loadSnapshotFile loads one snapshot from disk through the hardened Load.
+func loadSnapshotFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// replayChunk bounds the pairs buffered per TrainBatch call during replay,
+// so replaying an arbitrarily long segment runs in constant memory.
+const replayChunk = 4096
+
+// replaySegment re-applies one WAL segment to the model through TrainBatch —
+// the same code path live training takes, which is what makes replay
+// reproduce the uncrashed model exactly. It returns the number of records
+// re-applied. A torn tail is truncated only on the newest segment; anywhere
+// else it fails recovery.
+func replaySegment(m *Model, dir string, gen uint64, newest bool, logf func(string, ...any)) (int, error) {
+	path := wal.SegmentPath(dir, gen)
+	pairs := make([]TrainingPair, 0, replayChunk)
+	flush := func() error {
+		if len(pairs) == 0 {
+			return nil
+		}
+		_, err := m.TrainBatch(pairs)
+		pairs = pairs[:0]
+		return err
+	}
+	n, corrupt, err := wal.Replay(path, func(r wal.Record) error {
+		q, qerr := NewQuery(r.Center, r.Theta)
+		if qerr != nil {
+			return fmt.Errorf("core: recovery: %s holds an invalid query: %w", path, qerr)
+		}
+		if math.IsNaN(r.Answer) || math.IsInf(r.Answer, 0) {
+			return fmt.Errorf("core: recovery: %s holds a non-finite answer %v", path, r.Answer)
+		}
+		pairs = append(pairs, TrainingPair{Query: q, Answer: r.Answer})
+		if len(pairs) == replayChunk {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	if corrupt != nil {
+		if !newest {
+			// A torn tail is only explicable on the segment that was being
+			// appended when the crash hit; corruption below it means the
+			// storage lost data that was fsynced long ago.
+			return 0, fmt.Errorf("core: recovery: segment %s is corrupt mid-log: %w", path, corrupt)
+		}
+		logf("core: recovery: %s has a torn/corrupt tail at byte offset %d (%s); truncating to last valid record (%d records kept)",
+			path, corrupt.Offset, corrupt.Reason, n)
+		if terr := wal.TruncateTorn(path, corrupt.Offset); terr != nil {
+			return 0, terr
+		}
+	}
+	return n, nil
+}
+
+// Model returns the wrapped model for querying (and for read-only
+// inspection). Training through it directly bypasses the log; use the
+// Durable's Observe/TrainBatch.
+func (d *Durable) Model() *Model { return d.m }
+
+// View pins the current published model version; see Model.View.
+func (d *Durable) View() View { return d.m.View() }
+
+// Observe durably consumes one training pair: the pair is appended to the
+// write-ahead log (fsynced per the configured sync policy) and then applied
+// to the model. The append happens first — a crash after the append replays
+// the pair; a crash before it loses a pair the caller never saw applied.
+func (d *Durable) Observe(q Query, answer float64) (StepInfo, error) {
+	if q.Dim() != d.m.cfg.Dim {
+		return StepInfo{}, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, q.Dim(), d.m.cfg.Dim)
+	}
+	if math.IsNaN(answer) || math.IsInf(answer, 0) {
+		return StepInfo{}, fmt.Errorf("core: non-finite training answer %v", answer)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.log.Append(wal.Record{Center: q.Center, Theta: q.Theta, Answer: answer}); err != nil {
+		return StepInfo{}, err
+	}
+	info, err := d.m.Observe(q, answer)
+	if err != nil {
+		return info, err
+	}
+	d.sinceSnap++
+	return info, d.maybeRotateLocked()
+}
+
+// TrainBatch durably consumes a batch: every pair is validated, appended to
+// the log, and the batch is applied under one writer-lock acquisition (see
+// Model.TrainBatch). Durability follows the sync policy, as with Observe.
+func (d *Durable) TrainBatch(pairs []TrainingPair) (TrainingResult, error) {
+	for _, p := range pairs {
+		if p.Query.Dim() != d.m.cfg.Dim {
+			return TrainingResult{}, fmt.Errorf("%w: query dim %d, model dim %d", ErrDimension, p.Query.Dim(), d.m.cfg.Dim)
+		}
+		if math.IsNaN(p.Answer) || math.IsInf(p.Answer, 0) {
+			return TrainingResult{}, fmt.Errorf("core: non-finite training answer %v", p.Answer)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, p := range pairs {
+		if err := d.log.Append(wal.Record{Center: p.Query.Center, Theta: p.Query.Theta, Answer: p.Answer}); err != nil {
+			return TrainingResult{}, err
+		}
+	}
+	res, err := d.m.TrainBatch(pairs)
+	if err != nil {
+		return res, err
+	}
+	d.sinceSnap += len(pairs)
+	return res, d.maybeRotateLocked()
+}
+
+// maybeRotateLocked rotates the log onto a fresh checkpoint once enough
+// pairs have accumulated. The caller holds d.mu, so no append can interleave
+// between the checkpoint and the segment switch — the invariant Rotate
+// requires.
+func (d *Durable) maybeRotateLocked() error {
+	if d.sinceSnap < d.opts.SnapshotEvery {
+		return nil
+	}
+	return d.rotateLocked()
+}
+
+func (d *Durable) rotateLocked() error {
+	if err := d.log.Rotate(d.m.Checkpoint); err != nil {
+		return err
+	}
+	d.sinceSnap = 0
+	return nil
+}
+
+// Snapshot forces a checkpoint + log rotation now, independent of the
+// SnapshotEvery cadence.
+func (d *Durable) Snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rotateLocked()
+}
+
+// Sync forces every appended pair to stable storage regardless of the sync
+// policy.
+func (d *Durable) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Sync()
+}
+
+// Gen returns the current snapshot/segment generation (diagnostics).
+func (d *Durable) Gen() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Gen()
+}
+
+// Close shuts the durability layer down cleanly: pairs consumed since the
+// last snapshot are checkpointed (so the next Recover replays nothing) and
+// the log is closed. Close with pending pairs pays one snapshot write; a
+// process killed instead of closed just pays that replay at the next boot.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var rerr error
+	if d.sinceSnap > 0 {
+		rerr = d.rotateLocked()
+	}
+	if cerr := d.log.Close(); rerr == nil {
+		rerr = cerr
+	}
+	return rerr
+}

@@ -6,11 +6,21 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"llmq/internal/vector"
 )
 
 // The serialized form of a model: a stable JSON document so trained models
 // can be persisted next to the DBMS and reloaded by query-processing nodes
-// without retraining.
+// without retraining. Version 2 carries, beyond the prototypes and their
+// coefficients, the full training clock — the step counter, per-prototype
+// win counts AND last-win step stamps (so a bounded model's eviction clock
+// survives a restart instead of resetting every boot), the convergence
+// window state, and (Checkpoint only) the per-prototype RLS solver state —
+// which is what makes "load a snapshot, replay the WAL tail" bit-identical
+// to a training run that never stopped. Version-1 files still load, with
+// the historical semantics (eviction clock restarted at the load step,
+// fresh solver state).
 
 type modelJSON struct {
 	Version   int     `json:"version"`
@@ -19,6 +29,22 @@ type modelJSON struct {
 	Gamma     float64 `json:"gamma"`
 	Steps     int     `json:"steps"`
 	Converged bool    `json:"converged"`
+	// The training-relevant configuration (version ≥ 2): the coefficient
+	// solver and update-rule switches, and the termination-criterion
+	// windows. Version-1 files lack them and load with the historical
+	// defaults (RLS, both switches on, standard windows).
+	Solver                  string `json:"solver,omitempty"`
+	InitInterceptWithAnswer bool   `json:"init_intercept_with_answer,omitempty"`
+	RateByPrototype         bool   `json:"rate_by_prototype,omitempty"`
+	MinGammaSteps           int    `json:"min_gamma_steps,omitempty"`
+	ConvergenceWindow       int    `json:"convergence_window,omitempty"`
+	// The convergence-criterion state (version ≥ 2), so a reloaded model
+	// mid-quiet-window needs exactly as many further quiet steps as the
+	// original would have. Γ can be +Inf (the step after a spawn), which
+	// JSON cannot encode — the _inf flag carries that case.
+	QuietSteps   int     `json:"quiet_steps,omitempty"`
+	LastGamma    float64 `json:"last_gamma,omitempty"`
+	LastGammaInf bool    `json:"last_gamma_inf,omitempty"`
 	// Bounded-capacity configuration (absent for unbounded models, and in
 	// files written before it existed — both load as unbounded).
 	MaxPrototypes    int       `json:"max_prototypes,omitempty"`
@@ -35,53 +61,64 @@ type llmJSON struct {
 	SlopeX     []float64 `json:"slope_x"`
 	SlopeTheta float64   `json:"slope_theta"`
 	Wins       int       `json:"wins"`
+	// LastWin is the training step at which the prototype last absorbed a
+	// pair — the eviction policies' recency input (version ≥ 2; absent in
+	// version-1 files, which restart the eviction clock at the load step).
+	LastWin int `json:"last_win,omitempty"`
+	// RLS is the row-major (d+2)² inverse-covariance state of the
+	// recursive-least-squares solver, written by Checkpoint only; a model
+	// loaded without it re-initializes the solver on the prototype's next
+	// win.
+	RLS []float64 `json:"rls,omitempty"`
 }
 
-const serializationVersion = 1
+const serializationVersion = 2
 
 // ErrBadModelFile is returned when a serialized model cannot be decoded or
 // fails validation.
 var ErrBadModelFile = errors.New("core: invalid model file")
 
-// Save writes the model as JSON. It serializes one published snapshot —
-// obtained with a single atomic load, no locking — so a model can be
-// checkpointed at a consistent version while serving queries and absorbing
-// a training stream. Tombstoned slots of a bounded model are compacted
-// away: the file holds the live prototypes in slot order, so a Save/Load
-// round trip is the rebuild-from-scratch reference of the tombstone
-// machinery (and resets the eviction clock — win stamps are not persisted).
-func (m *Model) Save(w io.Writer) error {
-	// Pair the capacity mirror with the snapshot consistently: read the
-	// mirror on both sides of the snapshot load and retry until it was
-	// stable across it. A concurrent SetCapacity in either direction (a
-	// shrink pairing a stale large set with the new small cap, or a grow
-	// pairing a stale small cap with a newly grown set — which Load's
-	// over-cap enforcement would then wrongly evict) changes the mirror
-	// pointer and forces another iteration; SetCapacity calls are rare, so
-	// the loop converges immediately. Load additionally enforces the cap,
-	// so even a hand-edited file cannot serve over-cap.
-	cc := m.capCfg.Load()
-	s := m.snap.Load()
-	for {
-		cc2 := m.capCfg.Load()
-		if cc2 == cc {
-			break
-		}
-		cc = cc2
-		s = m.snap.Load()
+// parseSolver resolves the persisted solver name; the empty string is the
+// default (RLS), matching version-1 files that predate the field.
+func parseSolver(name string) (Solver, error) {
+	switch name {
+	case "", SolverRLS.String():
+		return SolverRLS, nil
+	case SolverSGD.String():
+		return SolverSGD, nil
+	default:
+		return 0, fmt.Errorf("unknown solver %q", name)
 	}
+}
+
+// snapDoc builds the serialized document from one published snapshot and
+// one capacity mirror. When solver is non-nil it is called per live slot to
+// fetch the authoritative LLM whose RLS state rides along (Checkpoint's
+// writer-locked path); a nil solver omits solver state (Save's lock-free
+// path, where the LLM objects cannot be read racelessly).
+func (m *Model) snapDoc(s *storeSnapshot, cc *capacityConfig, quietSteps int, solver func(slot int) *LLM) modelJSON {
 	doc := modelJSON{
-		Version:   serializationVersion,
-		Dim:       m.cfg.Dim,
-		Vigilance: m.cfg.Vigilance,
-		Gamma:     m.cfg.Gamma,
-		Steps:     s.steps,
-		Converged: s.converged,
-		LLMs:      make([]llmJSON, 0, s.live),
+		Version:                 serializationVersion,
+		Dim:                     m.cfg.Dim,
+		Vigilance:               m.cfg.Vigilance,
+		Gamma:                   m.cfg.Gamma,
+		Steps:                   s.steps,
+		Converged:               s.converged,
+		Solver:                  m.cfg.CoefficientSolver.String(),
+		InitInterceptWithAnswer: m.cfg.InitInterceptWithAnswer,
+		RateByPrototype:         m.cfg.RateByPrototype,
+		MinGammaSteps:           m.cfg.MinGammaSteps,
+		ConvergenceWindow:       m.cfg.ConvergenceWindow,
+		QuietSteps:              quietSteps,
+		LLMs:                    make([]llmJSON, 0, s.live),
+	}
+	if math.IsInf(s.lastGamma, 1) {
+		doc.LastGammaInf = true
+	} else {
+		doc.LastGamma = s.lastGamma
 	}
 	// The capacity fields are runtime-mutable (SetCapacity); read them
-	// through the lock-free mirror (loaded above, before the snapshot),
-	// never from m.cfg directly.
+	// through the lock-free mirror, never from m.cfg directly.
 	if cc.max > 0 {
 		doc.MaxPrototypes = cc.max
 		doc.MergeOnEvict = cc.merge
@@ -103,15 +140,26 @@ func (m *Model) Save(w io.Writer) error {
 			continue // tombstoned slot
 		}
 		c := s.coefRow(i)
-		doc.LLMs = append(doc.LLMs, llmJSON{
+		lj := llmJSON{
 			Center:     append([]float64(nil), row[:s.dim]...),
 			Theta:      row[s.dim],
 			Intercept:  c[0],
 			SlopeX:     append([]float64(nil), c[1:1+s.dim]...),
 			SlopeTheta: c[s.coefW-1],
 			Wins:       s.win(i),
-		})
+			LastWin:    s.stamp(i),
+		}
+		if solver != nil {
+			if l := solver(i); l != nil && l.p != nil {
+				lj.RLS = append([]float64(nil), l.p...)
+			}
+		}
+		doc.LLMs = append(doc.LLMs, lj)
 	}
+	return doc
+}
+
+func encodeDoc(w io.Writer, doc modelJSON) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -120,18 +168,90 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a model previously written by Save. The loaded model can answer
-// queries; it can also continue training with the embedded configuration.
+// Save writes the model as JSON. It serializes one published snapshot —
+// obtained with a single atomic load, no locking — so a model can be
+// checkpointed at a consistent version while serving queries and absorbing
+// a training stream. Tombstoned slots of a bounded model are compacted
+// away: the file holds the live prototypes in slot order, with their win
+// counts and last-win stamps, so a Save/Load round trip preserves the
+// eviction clock (only the tombstone slot numbering is rebuilt). The RLS
+// solver state is NOT included — it lives in the writer-locked training
+// objects, which a lock-free reader cannot serialize consistently; use
+// Checkpoint when the file must support bit-identical training resumption.
+func (m *Model) Save(w io.Writer) error {
+	// Pair the capacity mirror with the snapshot consistently: read the
+	// mirror on both sides of the snapshot load and retry until it was
+	// stable across it. A concurrent SetCapacity in either direction (a
+	// shrink pairing a stale large set with the new small cap, or a grow
+	// pairing a stale small cap with a newly grown set — which Load's
+	// over-cap enforcement would then wrongly evict) changes the mirror
+	// pointer and forces another iteration; SetCapacity calls are rare, so
+	// the loop converges immediately. Load additionally enforces the cap,
+	// so even a hand-edited file cannot serve over-cap.
+	cc := m.capCfg.Load()
+	s := m.snap.Load()
+	for {
+		cc2 := m.capCfg.Load()
+		if cc2 == cc {
+			break
+		}
+		cc = cc2
+		s = m.snap.Load()
+	}
+	return encodeDoc(w, m.snapDoc(s, cc, s.quietSteps, nil))
+}
+
+// Checkpoint writes the model as JSON like Save, but serializes the
+// authoritative writer state under the writer lock, including each
+// prototype's RLS inverse-covariance — everything training touches. A model
+// loaded from a Checkpoint and fed the remainder of a training stream is
+// bit-identical to one that consumed the whole stream without stopping,
+// which is the property the durability layer's snapshots are built on
+// (core.Recover replays the WAL tail on top of the newest checkpoint).
+// Checkpoint briefly serializes with training writers; readers stay
+// lock-free throughout.
+func (m *Model) Checkpoint(w io.Writer) error {
+	m.mu.Lock()
+	// Publish first so the snapshot IS the current writer state; under the
+	// lock no training step can intervene.
+	m.publishLocked()
+	s := m.snap.Load()
+	cc := m.capCfg.Load()
+	doc := m.snapDoc(s, cc, m.quietSteps, func(slot int) *LLM {
+		if slot >= len(m.llms) {
+			return nil
+		}
+		return m.llms[slot]
+	})
+	m.mu.Unlock()
+	// The document owns deep copies of everything; encoding (and the I/O
+	// behind w) proceeds without stalling training.
+	return encodeDoc(w, doc)
+}
+
+// Load reads a model previously written by Save or Checkpoint. The loaded
+// model can answer queries; it can also continue training with the embedded
+// configuration, resuming the eviction clock (and, for checkpoints, the
+// exact solver state) where the file left off. Decode and validation
+// failures return a descriptive ErrBadModelFile naming the byte offset or
+// prototype that failed, so a truncated or corrupt file diagnoses itself.
 func Load(r io.Reader) (*Model, error) {
 	var doc modelJSON
-	if err := json.NewDecoder(r).Decode(&doc); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadModelFile, err)
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		// InputOffset points at where decoding stopped — for the torn
+		// prefix a crashed non-atomic write leaves behind, that is the
+		// truncation point.
+		return nil, fmt.Errorf("%w: decode failed at byte offset %d: %v", ErrBadModelFile, dec.InputOffset(), err)
 	}
-	if doc.Version != serializationVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadModelFile, doc.Version)
+	if doc.Version < 1 || doc.Version > serializationVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d (this build reads 1..%d)", ErrBadModelFile, doc.Version, serializationVersion)
 	}
 	if doc.Dim <= 0 || doc.Vigilance <= 0 || doc.Gamma <= 0 {
 		return nil, fmt.Errorf("%w: non-positive dim/vigilance/gamma", ErrBadModelFile)
+	}
+	if doc.Steps < 0 || doc.QuietSteps < 0 {
+		return nil, fmt.Errorf("%w: negative step counters (steps %d, quiet %d)", ErrBadModelFile, doc.Steps, doc.QuietSteps)
 	}
 	cfg := Config{
 		Dim:                     doc.Dim,
@@ -140,6 +260,17 @@ func Load(r io.Reader) (*Model, error) {
 		Schedule:                Hyperbolic{},
 		InitInterceptWithAnswer: true,
 		RateByPrototype:         true,
+	}
+	if doc.Version >= 2 {
+		solver, err := parseSolver(doc.Solver)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModelFile, err)
+		}
+		cfg.CoefficientSolver = solver
+		cfg.InitInterceptWithAnswer = doc.InitInterceptWithAnswer
+		cfg.RateByPrototype = doc.RateByPrototype
+		cfg.MinGammaSteps = doc.MinGammaSteps
+		cfg.ConvergenceWindow = doc.ConvergenceWindow
 	}
 	if doc.MaxPrototypes > 0 {
 		cfg.MaxPrototypes = doc.MaxPrototypes
@@ -160,6 +291,13 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	m.steps = doc.Steps
 	m.converged = doc.Converged
+	m.quietSteps = doc.QuietSteps
+	if doc.LastGammaInf {
+		m.lastGamma = math.Inf(1)
+	} else {
+		m.lastGamma = doc.LastGamma
+	}
+	solverW := m.cfg.Dim + 2
 	for i, lj := range doc.LLMs {
 		if len(lj.Center) != doc.Dim || len(lj.SlopeX) != doc.Dim {
 			return nil, fmt.Errorf("%w: LLM %d has wrong dimensionality", ErrBadModelFile, i)
@@ -176,13 +314,30 @@ func Load(r io.Reader) (*Model, error) {
 				return nil, fmt.Errorf("%w: LLM %d contains non-finite values", ErrBadModelFile, i)
 			}
 		}
+		if lj.LastWin < 0 || lj.LastWin > doc.Steps {
+			return nil, fmt.Errorf("%w: LLM %d last-win stamp %d outside [0, %d]", ErrBadModelFile, i, lj.LastWin, doc.Steps)
+		}
+		if lj.RLS != nil {
+			if len(lj.RLS) != solverW*solverW {
+				return nil, fmt.Errorf("%w: LLM %d RLS state has %d values, want %d", ErrBadModelFile, i, len(lj.RLS), solverW*solverW)
+			}
+			for _, v := range lj.RLS {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("%w: LLM %d RLS state contains non-finite values", ErrBadModelFile, i)
+				}
+			}
+		}
 		l := &LLM{
-			CenterPrototype: append([]float64(nil), lj.Center...),
+			CenterPrototype: vector.Of(lj.Center...),
 			ThetaPrototype:  lj.Theta,
 			Intercept:       lj.Intercept,
-			SlopeX:          append([]float64(nil), lj.SlopeX...),
+			SlopeX:          vector.Of(lj.SlopeX...),
 			SlopeTheta:      lj.SlopeTheta,
 			Wins:            lj.Wins,
+			p:               append([]float64(nil), lj.RLS...),
+		}
+		if len(l.p) == 0 {
+			l.p = nil // re-initialized lazily on the next RLS update
 		}
 		m.llms = append(m.llms, l)
 		// addRow, not add: one explicit epoch build after the loop replaces
@@ -190,10 +345,15 @@ func Load(r io.Reader) (*Model, error) {
 		// construct and discard during a bulk load.
 		m.store.addRow(l.CenterPrototype, l.ThetaPrototype)
 		m.store.syncCoef(i, l)
-		// Win stamps are not persisted; restart the eviction clock at the
-		// load step so decayed scores don't all underflow to zero (which
-		// would erase the win-count ordering the policies rely on).
-		m.store.setStamp(i, doc.Steps)
+		if lj.LastWin > 0 {
+			m.store.setStamp(i, lj.LastWin)
+		} else {
+			// Version-1 files carry no stamps; restart the eviction clock at
+			// the load step so decayed scores don't all underflow to zero
+			// (which would erase the win-count ordering the policies rely
+			// on).
+			m.store.setStamp(i, doc.Steps)
+		}
 	}
 	// Enforce the file's capacity before the first publication: a file can
 	// carry more prototypes than its cap (a checkpoint racing a SetCapacity

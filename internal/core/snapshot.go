@@ -42,9 +42,10 @@ type storeSnapshot struct {
 	slack    float64    // max prototype displacement vs the epoch's stale rows
 	maxTheta float64    // upper bound on every θ_k (see store.go)
 
-	steps     int
-	converged bool
-	lastGamma float64
+	steps      int
+	converged  bool
+	lastGamma  float64
+	quietSteps int // consecutive steps with Γ ≤ γ, persisted by Save
 }
 
 // chunked wraps the snapshot's chunk table for the chunk-iterating kernels

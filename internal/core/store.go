@@ -614,7 +614,7 @@ func (s *protoStore) winnerQuery(q Query) (int, float64) {
 // drift/max-θ budgets are captured as scalars. The returned snapshot never
 // changes, so readers use it without any synchronization beyond the atomic
 // pointer load that handed it out.
-func (s *protoStore) publish(dim, steps int, converged bool, lastGamma float64) *storeSnapshot {
+func (s *protoStore) publish(dim, steps int, converged bool, lastGamma float64, quietSteps int) *storeSnapshot {
 	dataC := make([]*vector.Chunk, len(s.dataC))
 	copy(dataC, s.dataC)
 	for i := range s.shared {
@@ -638,5 +638,6 @@ func (s *protoStore) publish(dim, steps int, converged bool, lastGamma float64) 
 		steps:      steps,
 		converged:  converged,
 		lastGamma:  lastGamma,
+		quietSteps: quietSteps,
 	}
 }

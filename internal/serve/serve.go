@@ -13,6 +13,11 @@
 //	                  → positional answers, evaluated concurrently over a
 //	                    bounded worker pool (the model is safe for concurrent
 //	                    reads, and the exact executor never mutates the table)
+//	POST /train       {"pairs": [{"center": [0.5, 0.5], "theta": 0.1, "answer": 1.2}]}
+//	                  → ingest training pairs into the served model; with a
+//	                    durable store (serve -data-dir) each pair is WAL-logged
+//	                    before it is applied, so ingested traffic survives a
+//	                    crash — without one, training is volatile
 //	GET  /model       → model metadata (K, steps, convergence, vigilance)
 //	GET  /healthz     → liveness probe
 //
@@ -36,15 +41,19 @@ import (
 
 // Server answers analytics statements over one relation.
 type Server struct {
-	exec  *exec.Executor
-	model *core.Model
-	mux   *http.ServeMux
+	exec    *exec.Executor
+	model   *core.Model
+	durable *core.Durable // non-nil when /train must WAL-log before applying
+	mux     *http.ServeMux
 }
 
 const (
 	// maxBatchStatements caps one /query/batch request: a single POST must
 	// not be able to monopolize every worker for an unbounded stretch.
 	maxBatchStatements = 4096
+	// maxTrainPairs caps one /train request for the same reason; larger
+	// streams just POST repeatedly (the durable log orders them anyway).
+	maxTrainPairs = 4096
 	// maxBodyBytes bounds request bodies before JSON decoding; generous for
 	// maxBatchStatements full-length statements.
 	maxBodyBytes = 4 << 20
@@ -63,8 +72,34 @@ func New(e *exec.Executor, m *core.Model) (*Server, error) {
 	s := &Server{exec: e, model: m, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/query/batch", s.handleBatch)
+	s.mux.HandleFunc("/train", s.handleTrain)
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s, nil
+}
+
+// NewDurable creates a server whose model is backed by a durable store:
+// queries answer from the model's lock-free published versions as usual,
+// while /train routes every pair through the write-ahead log before it is
+// applied, so ingested training traffic survives a crash and is replayed on
+// the next boot. The caller owns the Durable's lifecycle (Close on
+// shutdown, for the final checkpoint).
+func NewDurable(e *exec.Executor, d *core.Durable) (*Server, error) {
+	if d == nil {
+		return nil, errors.New("serve: durable store is required")
+	}
+	if e != nil && d.Model().Config().Dim != len(e.InputNames()) {
+		// Unlike a plain model (checked only once trained), a durable model
+		// always has a definite dimensionality — an empty one still replays
+		// and ingests pairs of exactly its configured dim.
+		return nil, fmt.Errorf("serve: durable model dim %d does not match the relation's %d input attributes",
+			d.Model().Config().Dim, len(e.InputNames()))
+	}
+	s, err := New(e, d.Model())
+	if err != nil {
+		return nil, err
+	}
+	s.durable = d
 	return s, nil
 }
 
@@ -104,6 +139,8 @@ type ModelInfo struct {
 	Converged  bool    `json:"converged,omitempty"`
 	Vigilance  float64 `json:"vigilance,omitempty"`
 	Dim        int     `json:"dim,omitempty"`
+	// Durable reports whether /train traffic is write-ahead logged.
+	Durable bool `json:"durable,omitempty"`
 }
 
 type errorBody struct {
@@ -142,6 +179,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 			Converged:  v.Converged(),
 			Vigilance:  cfg.Vigilance,
 			Dim:        cfg.Dim,
+			Durable:    s.durable != nil,
 		}
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -215,6 +253,94 @@ func (s *Server) parseStatement(sql string) (*sqlfront.Statement, int, error) {
 		return nil, http.StatusConflict, errors.New("no trained model loaded for APPROX statements")
 	}
 	return stmt, http.StatusOK, nil
+}
+
+// TrainPair is one training observation in a POST /train body: the query
+// (centre and radius) and the answer the engine produced for it.
+type TrainPair struct {
+	Center []float64 `json:"center"`
+	Theta  float64   `json:"theta"`
+	Answer float64   `json:"answer"`
+}
+
+// TrainRequest is the body of POST /train.
+type TrainRequest struct {
+	Pairs []TrainPair `json:"pairs"`
+}
+
+// TrainResponse is the body returned by POST /train.
+type TrainResponse struct {
+	// Accepted is the number of pairs applied (a converged model freezes
+	// its parameters and absorbs none — check Converged).
+	Accepted   int    `json:"accepted"`
+	Steps      int    `json:"steps"`
+	Prototypes int    `json:"prototypes"`
+	Converged  bool   `json:"converged"`
+	Durable    bool   `json:"durable"`
+	Elapsed    string `json:"elapsed"`
+}
+
+// handleTrain ingests training pairs into the served model. With a durable
+// store every pair is appended to the write-ahead log before it is applied
+// (and periodic checkpoints rotate the log); without one the pairs train the
+// in-memory model only and die with the process. Either way the batch is
+// applied under one writer-lock acquisition while queries keep answering
+// lock-free from the previous published version.
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if s.model == nil {
+		writeError(w, http.StatusConflict, errors.New("no model loaded to train"))
+		return
+	}
+	var req TrainRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("missing pairs"))
+		return
+	}
+	if len(req.Pairs) > maxTrainPairs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("request has %d pairs, limit is %d", len(req.Pairs), maxTrainPairs))
+		return
+	}
+	pairs := make([]core.TrainingPair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		q, err := core.NewQuery(p.Center, p.Theta)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("pair %d: %w", i, err))
+			return
+		}
+		pairs[i] = core.TrainingPair{Query: q, Answer: p.Answer}
+	}
+	start := time.Now()
+	before := s.model.Steps()
+	var (
+		res core.TrainingResult
+		err error
+	)
+	if s.durable != nil {
+		res, err = s.durable.TrainBatch(pairs)
+	} else {
+		res, err = s.model.TrainBatch(pairs)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TrainResponse{
+		Accepted:   res.Steps - before,
+		Steps:      res.Steps,
+		Prototypes: res.K,
+		Converged:  res.Converged,
+		Durable:    s.durable != nil,
+		Elapsed:    time.Since(start).String(),
+	})
 }
 
 // BatchRequest is the body of POST /query/batch.

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"llmq/internal/core"
+	"llmq/internal/wal"
+)
+
+func postTrain(t *testing.T, s *Server, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/train", bytes.NewReader(b))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func trainPairs(n int) []TrainPair {
+	pairs := make([]TrainPair, n)
+	for i := range pairs {
+		f := float64(i) / float64(n)
+		pairs[i] = TrainPair{Center: []float64{f, 1 - f}, Theta: 0.1, Answer: 2 * f}
+	}
+	return pairs
+}
+
+func TestTrainEndpoint(t *testing.T) {
+	s := newServer(t, true)
+	before := s.model.Steps()
+	rec := postTrain(t, s, TrainRequest{Pairs: trainPairs(10)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp TrainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 10 || resp.Steps != before+10 {
+		t.Errorf("response %+v, want 10 accepted on top of %d steps", resp, before)
+	}
+	if resp.Durable {
+		t.Error("plain in-memory server reported durable training")
+	}
+	if s.model.Steps() != before+10 {
+		t.Errorf("model advanced to %d steps, want %d", s.model.Steps(), before+10)
+	}
+}
+
+func TestTrainEndpointErrors(t *testing.T) {
+	s := newServer(t, true)
+	// Wrong method.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/train", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /train: status %d", rec.Code)
+	}
+	// No model to train.
+	if rec := postTrain(t, newServer(t, false), TrainRequest{Pairs: trainPairs(1)}); rec.Code != http.StatusConflict {
+		t.Errorf("modelless /train: status %d, want 409", rec.Code)
+	}
+	// Malformed body.
+	req := httptest.NewRequest(http.MethodPost, "/train", bytes.NewReader([]byte("{")))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", rec.Code)
+	}
+	// Empty and oversized batches.
+	if rec := postTrain(t, s, TrainRequest{}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d", rec.Code)
+	}
+	if rec := postTrain(t, s, TrainRequest{Pairs: trainPairs(maxTrainPairs + 1)}); rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d", rec.Code)
+	}
+	// Dimension mismatch inside a pair.
+	bad := TrainRequest{Pairs: []TrainPair{{Center: []float64{0.5}, Theta: 0.1, Answer: 1}}}
+	if rec := postTrain(t, s, bad); rec.Code != http.StatusBadRequest {
+		t.Errorf("dim-mismatched pair: status %d", rec.Code)
+	}
+}
+
+// TestTrainEndpointDurable routes /train through a Durable and checks the
+// pairs actually reach the WAL: a recovery from the data directory sees them.
+func TestTrainEndpointDurable(t *testing.T) {
+	dir := t.TempDir()
+	plain := newServer(t, false)
+	cfg := core.DefaultConfig(2)
+	cfg.ResolutionA = 0.1
+	opts := core.DurableOptions{WAL: wal.Options{Mode: wal.SyncNone}}
+	d, err := core.Recover(dir, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDurable(plain.exec, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postTrain(t, s, TrainRequest{Pairs: trainPairs(25)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp TrainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Durable || resp.Accepted != 25 {
+		t.Errorf("response %+v, want 25 durable accepts", resp)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := core.Recover(dir, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Model().Steps() != 25 {
+		t.Errorf("recovered %d steps, want 25", d2.Model().Steps())
+	}
+}

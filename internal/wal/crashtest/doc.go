@@ -1,0 +1,10 @@
+// Package crashtest is the fault-injection proof of the durability layer:
+// its test re-executes the test binary as a child trainer that streams pairs
+// through core.Recover's Durable wrapper, SIGKILLs it at random points
+// (sometimes additionally chopping bytes off the newest WAL segment, the
+// on-disk signature of a power loss tearing an unsynced tail), recovers, and
+// requires the recovered model to be bit-identical to a clean never-crashed
+// run over the same durable prefix — checkpoints, rotations, evictions,
+// merges and solver state included. The package holds no library code; it
+// exists so the harness can be invoked as its own `go test` target in CI.
+package crashtest

@@ -1,0 +1,285 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Directory layout. One data directory holds generation-numbered files:
+//
+//	snap-000003.json   model snapshot generation 3 (covers segments < 3)
+//	wal-000003.log     records appended after snapshot 3 was taken
+//
+// Generation g of the snapshot captures the model state after every record
+// in segments 0..g-1; segment g holds the records observed since. Rotation
+// (writing snapshot g+1) keeps generation g around as a fallback — if
+// snapshot g+1 turns out to be unreadable at boot, recovery loads snapshot
+// g and replays segments g and g+1, which reproduces the same state because
+// replay is deterministic — and deletes generations ≤ g−1. A directory with
+// no snapshot at all recovers from scratch iff segment 0 is still present.
+
+const (
+	snapPattern = "snap-%06d.json"
+	segPattern  = "wal-%06d.log"
+	tmpSuffix   = ".tmp"
+)
+
+// SnapshotPath returns the path of the generation-gen snapshot file.
+func SnapshotPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf(snapPattern, gen))
+}
+
+// SegmentPath returns the path of the generation-gen log segment.
+func SegmentPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf(segPattern, gen))
+}
+
+// Manifest lists what a data directory holds, as generation numbers.
+type Manifest struct {
+	// Snapshots holds the snapshot generations present, ascending.
+	Snapshots []uint64
+	// Segments holds the log-segment generations present, ascending.
+	Segments []uint64
+}
+
+// List scans a data directory (creating it if absent) and returns its
+// manifest. Leftover temporary files from an interrupted snapshot write are
+// deleted — they were never published and must not shadow a real file.
+func List(dir string) (Manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Manifest{}, fmt.Errorf("wal: create data dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("wal: read data dir: %w", err)
+	}
+	var m Manifest
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) == tmpSuffix {
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var gen uint64
+		if n, err := fmt.Sscanf(name, snapPattern, &gen); err == nil && n == 1 && name == fmt.Sprintf(snapPattern, gen) {
+			m.Snapshots = append(m.Snapshots, gen)
+		} else if n, err := fmt.Sscanf(name, segPattern, &gen); err == nil && n == 1 && name == fmt.Sprintf(segPattern, gen) {
+			m.Segments = append(m.Segments, gen)
+		}
+	}
+	sort.Slice(m.Snapshots, func(i, j int) bool { return m.Snapshots[i] < m.Snapshots[j] })
+	sort.Slice(m.Segments, func(i, j int) bool { return m.Segments[i] < m.Segments[j] })
+	return m, nil
+}
+
+// WriteFileAtomic writes a file so that a crash at any point leaves either
+// the previous file (or no file) or the complete new one, never a torn
+// prefix: the content goes to a temporary sibling, is fsynced, renamed over
+// the target, and the directory entry is fsynced. The write callback
+// produces the content.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".*"+tmpSuffix)
+	if err != nil {
+		return fmt.Errorf("wal: create temp file: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: close %s: %w", tmp.Name(), err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("wal: rename into place: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives a power failure. Some filesystems refuse to fsync directories;
+// that is reported, not swallowed, because rotation's deletion of old
+// generations depends on the rename being durable first.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// Replay streams every record of the segment at path through fn in order.
+// It returns the number of records delivered and, when the segment ends in
+// a torn or corrupt record instead of a clean boundary, the *CorruptError
+// locating it (records before the corruption are still delivered). An error
+// from fn aborts the replay and is returned verbatim.
+func Replay(path string, fn func(Record) error) (int, *CorruptError, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	sc := NewScanner(f)
+	n := 0
+	for sc.Next() {
+		if err := fn(sc.Record()); err != nil {
+			return n, nil, err
+		}
+		n++
+	}
+	var corrupt *CorruptError
+	if err := sc.Err(); err != nil {
+		errors.As(err, &corrupt)
+	}
+	return n, corrupt, nil
+}
+
+// TruncateTorn cuts the segment at path down to size bytes — the ValidSize
+// of a scan that hit a torn tail — and fsyncs it, so the next scan ends at
+// a clean record boundary.
+func TruncateTorn(path string, size int64) error {
+	if err := os.Truncate(path, size); err != nil {
+		return fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: reopen after truncate: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync after truncate: %w", err)
+	}
+	return nil
+}
+
+// Log is the append side of a data directory: the open tail segment plus
+// the rotation machinery. It is safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+	gen  uint64 // generation of the open tail segment
+	w    *writer
+}
+
+// Continue opens the data directory's newest segment for appending,
+// creating segment 0 in a fresh directory (or the segment matching the
+// newest snapshot when rotation was interrupted between the snapshot
+// rename and the segment creation). The caller must have finished recovery
+// first — any torn tail must already be truncated, because appending after
+// a torn record would bury it mid-segment where recovery refuses to
+// truncate.
+func Continue(dir string, opts Options) (*Log, error) {
+	m, err := List(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gen uint64
+	if n := len(m.Segments); n > 0 {
+		gen = m.Segments[n-1]
+	}
+	if n := len(m.Snapshots); n > 0 && m.Snapshots[n-1] > gen {
+		// Crash between the snapshot rename and the new segment creation:
+		// the snapshot supersedes every existing segment, so the tail
+		// segment it expects is simply empty. Create it.
+		gen = m.Snapshots[n-1]
+	}
+	f, err := os.OpenFile(SegmentPath(dir, gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	return &Log{dir: dir, opts: opts.withDefaults(), gen: gen, w: newWriter(f, opts)}, nil
+}
+
+// Dir returns the data directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Gen returns the generation of the open tail segment (equal to the newest
+// snapshot's generation once one exists).
+func (l *Log) Gen() uint64 { return l.gen }
+
+// Append logs one record under the configured sync policy. The record is
+// durable once the policy has fsynced it; under SyncGroup that is within
+// FlushInterval/FlushBatch, and a crash before then loses it (recovery
+// truncates the torn tail).
+func (l *Log) Append(r Record) error { return l.w.append(r) }
+
+// Sync forces every appended record to stable storage regardless of the
+// sync policy.
+func (l *Log) Sync() error { return l.w.sync() }
+
+// Rotate publishes a snapshot of the current state and retires the log it
+// supersedes: the tail segment is fsynced, writeSnapshot's content becomes
+// snapshot generation gen+1 via an atomic temp-fsync-rename, a fresh empty
+// segment gen+1 takes over appends, and generations ≤ gen−1 — now two
+// snapshots behind — are deleted. The caller must guarantee writeSnapshot
+// captures exactly the state after every record appended so far (i.e. no
+// concurrent appends), which is what makes "newest snapshot + tail replay"
+// equal the uncrashed model.
+func (l *Log) Rotate(writeSnapshot func(io.Writer) error) error {
+	// The superseded segment must be durable before the snapshot that
+	// replaces it exists: if the snapshot rename landed but the segment's
+	// tail did not, a fallback recovery from the previous generation would
+	// replay a hole.
+	if err := l.w.sync(); err != nil {
+		return err
+	}
+	next := l.gen + 1
+	if err := WriteFileAtomic(SnapshotPath(l.dir, next), writeSnapshot); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(SegmentPath(l.dir, next), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open next segment: %w", err)
+	}
+	if err := l.w.close(); err != nil {
+		f.Close()
+		return err
+	}
+	l.w = newWriter(f, l.opts)
+	l.gen = next
+	// Only after the new generation is fully in place are the old ones
+	// expendable; a crash anywhere above leaves extra files, never missing
+	// ones, and List/recovery tolerate extras.
+	if next >= 2 {
+		cutoff := next - 2
+		m, err := List(l.dir)
+		if err != nil {
+			return nil // best-effort cleanup; the files are only garbage
+		}
+		for _, g := range m.Snapshots {
+			if g <= cutoff {
+				_ = os.Remove(SnapshotPath(l.dir, g))
+			}
+		}
+		for _, g := range m.Segments {
+			if g <= cutoff {
+				_ = os.Remove(SegmentPath(l.dir, g))
+			}
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the tail segment. It does not snapshot; callers
+// that want a clean shutdown (so the next boot replays nothing) call
+// Rotate first.
+func (l *Log) Close() error { return l.w.close() }

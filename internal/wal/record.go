@@ -1,0 +1,233 @@
+// Package wal implements the durability substrate of the streaming trainer:
+// an append-only write-ahead log of training pairs plus atomically written,
+// generation-numbered model snapshots, managed together so that a process
+// killed at any instant recovers — newest valid snapshot, then replay of the
+// log tail — to exactly the state it had durably reached.
+//
+// The package is deliberately model-agnostic: a record is a raw training
+// pair ([]float64 centre, radius, answer), a snapshot is whatever bytes the
+// caller's write callback produces, and recovery hands the caller a plan
+// (candidate snapshots newest-first, log segments oldest-first) instead of
+// interpreting either. internal/core layers Recover/Durable on top.
+//
+// # On-disk format
+//
+// A log segment is a sequence of records, each framed as
+//
+//	uint32 little-endian payload length
+//	uint32 little-endian CRC-32C (Castagnoli) of the payload
+//	payload
+//
+// with the payload encoding one training pair (a kind byte for forward
+// compatibility, the dimensionality as a uvarint, then the centre
+// coordinates, radius and answer as raw IEEE-754 bits). The frame makes the
+// expected crash artifact — a torn write at the tail — detectable: a read
+// that runs out of bytes mid-record, or whose checksum does not match, stops
+// the scan at the last intact record boundary instead of propagating garbage
+// into the model.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Record is one logged training pair: the query centre x, the query radius
+// θ and the observed answer y. Records are value-complete — replaying them
+// in order through the trainer reproduces the training run.
+type Record struct {
+	// Center is the query centre x ∈ R^d.
+	Center []float64
+	// Theta is the query radius θ.
+	Theta float64
+	// Answer is the observed query answer y.
+	Answer float64
+}
+
+// recordKindPair tags a training-pair payload; other kinds are reserved so
+// the format can grow without breaking old readers (which reject unknown
+// kinds as corruption, the safe failure for a durability log).
+const recordKindPair = 1
+
+// maxRecordLen bounds a single record payload. Training pairs are tiny (a
+// few hundred bytes even at high dimensionality); a length prefix beyond
+// this is certainly corruption and must not drive a giant allocation.
+const maxRecordLen = 1 << 20
+
+// frameHeaderLen is the fixed framing overhead per record: the payload
+// length and its CRC-32C.
+const frameHeaderLen = 8
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptRecord tags every framing/decoding failure of the record
+// scanner; CorruptError carries the offset and reason.
+var ErrCorruptRecord = errors.New("wal: corrupt record")
+
+// CorruptError reports where and why a log scan stopped: the byte offset of
+// the record that failed to decode (which is also the size of the valid
+// prefix — the offset to truncate a torn tail at) and what failed.
+type CorruptError struct {
+	// Offset is the file offset of the first byte of the bad record; all
+	// records before it decoded cleanly.
+	Offset int64
+	// Reason describes what failed (short read, checksum mismatch, bad
+	// length, bad payload).
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt record at offset %d: %s", e.Offset, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrCorruptRecord) work.
+func (e *CorruptError) Unwrap() error { return ErrCorruptRecord }
+
+// appendRecord appends the framed encoding of r to dst and returns the
+// extended slice.
+func appendRecord(dst []byte, r Record) []byte {
+	payload := len(dst) + frameHeaderLen
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header, patched below
+	dst = append(dst, recordKindPair)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Center)))
+	for _, v := range r.Center {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Theta))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Answer))
+	binary.LittleEndian.PutUint32(dst[payload-frameHeaderLen:], uint32(len(dst)-payload))
+	binary.LittleEndian.PutUint32(dst[payload-4:], crc32.Checksum(dst[payload:], castagnoli))
+	return dst
+}
+
+// EncodedLen returns the on-disk size of the record: frame header plus
+// payload.
+func (r Record) EncodedLen() int {
+	return frameHeaderLen + 1 + uvarintLen(uint64(len(r.Center))) + 8*(len(r.Center)+2)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// decodePayload parses one record payload (the bytes after the frame
+// header). It is strict: unknown kinds, short bodies and trailing garbage
+// are all errors — a checksummed payload that still fails to parse means a
+// writer bug or deliberate tampering, and either way must not be replayed.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) == 0 {
+		return Record{}, errors.New("empty payload")
+	}
+	if p[0] != recordKindPair {
+		return Record{}, fmt.Errorf("unknown record kind %d", p[0])
+	}
+	p = p[1:]
+	dim, n := binary.Uvarint(p)
+	if n <= 0 {
+		return Record{}, errors.New("bad dimensionality varint")
+	}
+	p = p[n:]
+	if dim > maxRecordLen/8 {
+		return Record{}, fmt.Errorf("implausible dimensionality %d", dim)
+	}
+	want := 8 * (int(dim) + 2)
+	if len(p) != want {
+		return Record{}, fmt.Errorf("payload body is %d bytes, want %d for dim %d", len(p), want, dim)
+	}
+	r := Record{Center: make([]float64, dim)}
+	for i := range r.Center {
+		r.Center[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	r.Theta = math.Float64frombits(binary.LittleEndian.Uint64(p[8*dim:]))
+	r.Answer = math.Float64frombits(binary.LittleEndian.Uint64(p[8*dim+8:]))
+	return r, nil
+}
+
+// Scanner reads framed records sequentially from a byte stream, tracking
+// the offset of every record boundary so a torn tail can be located and
+// truncated precisely.
+type Scanner struct {
+	r      io.Reader
+	off    int64 // offset of the next unread byte
+	valid  int64 // offset just past the last cleanly decoded record
+	head   [frameHeaderLen]byte
+	buf    []byte
+	err    error
+	record Record
+}
+
+// NewScanner returns a scanner over r, which should read from the start of
+// a log segment.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{r: r}
+}
+
+// Next advances to the next record, returning false at the end of the
+// stream — clean or torn; Err distinguishes. After Next returns true,
+// Record returns the decoded record.
+func (s *Scanner) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	start := s.off
+	n, err := io.ReadFull(s.r, s.head[:])
+	s.off += int64(n)
+	if err == io.EOF {
+		return false // clean end exactly at a record boundary
+	}
+	if err != nil {
+		s.err = &CorruptError{Offset: start, Reason: fmt.Sprintf("torn frame header (%d of %d bytes)", n, frameHeaderLen)}
+		return false
+	}
+	length := binary.LittleEndian.Uint32(s.head[:4])
+	sum := binary.LittleEndian.Uint32(s.head[4:])
+	if length > maxRecordLen {
+		s.err = &CorruptError{Offset: start, Reason: fmt.Sprintf("implausible payload length %d", length)}
+		return false
+	}
+	if cap(s.buf) < int(length) {
+		s.buf = make([]byte, length)
+	}
+	payload := s.buf[:length]
+	n, err = io.ReadFull(s.r, payload)
+	s.off += int64(n)
+	if err != nil {
+		s.err = &CorruptError{Offset: start, Reason: fmt.Sprintf("torn payload (%d of %d bytes)", n, length)}
+		return false
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		s.err = &CorruptError{Offset: start, Reason: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", sum, got)}
+		return false
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		s.err = &CorruptError{Offset: start, Reason: err.Error()}
+		return false
+	}
+	s.record = rec
+	s.valid = s.off
+	return true
+}
+
+// Record returns the record decoded by the last successful Next. The centre
+// slice is owned by the caller (freshly allocated per record).
+func (s *Scanner) Record() Record { return s.record }
+
+// Err returns nil after a clean end-of-stream, or the *CorruptError that
+// stopped the scan.
+func (s *Scanner) Err() error { return s.err }
+
+// ValidSize returns the offset just past the last cleanly decoded record —
+// the size to truncate a torn segment to.
+func (s *Scanner) ValidSize() int64 { return s.valid }

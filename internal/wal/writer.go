@@ -1,0 +1,183 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// SyncMode selects how appended records reach stable storage.
+type SyncMode int
+
+const (
+	// SyncGroup (the default) batches fsyncs: an append is flushed to the
+	// OS immediately but fsynced only when FlushBatch records have
+	// accumulated or FlushInterval has elapsed since the first unsynced
+	// one, whichever comes first. A crash loses at most the unsynced tail,
+	// which recovery truncates at the last intact record.
+	SyncGroup SyncMode = iota
+	// SyncAlways fsyncs every append before it returns: nothing
+	// acknowledged is ever lost, at the cost of one disk flush per pair.
+	SyncAlways
+	// SyncNone never fsyncs explicitly; durability is whatever the OS page
+	// cache provides. For bulk loads whose source can be replayed anyway.
+	SyncNone
+)
+
+// String names the mode as accepted by ParseSyncMode.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return "group"
+	}
+}
+
+// ParseSyncMode resolves a -wal-sync flag value.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "", "group":
+		return SyncGroup, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync mode %q (want group, always or none)", s)
+	}
+}
+
+// Options configures the append side of a log.
+type Options struct {
+	// Mode is the fsync policy; the zero value is SyncGroup.
+	Mode SyncMode
+	// FlushInterval caps how long an appended record may stay unsynced
+	// under SyncGroup; ≤ 0 defaults to 10ms.
+	FlushInterval time.Duration
+	// FlushBatch caps how many records may accumulate unsynced under
+	// SyncGroup before an append fsyncs inline; ≤ 0 defaults to 256.
+	FlushBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 10 * time.Millisecond
+	}
+	if o.FlushBatch <= 0 {
+		o.FlushBatch = 256
+	}
+	return o
+}
+
+// writer appends framed records to one segment file. Append errors are
+// sticky: after any write or fsync failure every further call returns the
+// first error, because a log with a hole in it must not keep growing.
+type writer struct {
+	mu      sync.Mutex
+	f       *os.File
+	opts    Options
+	buf     []byte // encode scratch
+	pending int    // records written since the last fsync
+	timer   *time.Timer
+	err     error
+}
+
+func newWriter(f *os.File, opts Options) *writer {
+	return &writer{f: f, opts: opts.withDefaults()}
+}
+
+// append encodes and writes one record, applying the sync policy.
+func (w *writer) append(r Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = appendRecord(w.buf[:0], r)
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.err = fmt.Errorf("wal: append: %w", err)
+		return w.err
+	}
+	w.pending++
+	switch w.opts.Mode {
+	case SyncAlways:
+		return w.syncLocked()
+	case SyncGroup:
+		if w.pending >= w.opts.FlushBatch {
+			return w.syncLocked()
+		}
+		if w.timer == nil {
+			w.timer = time.AfterFunc(w.opts.FlushInterval, w.timerSync)
+		}
+	}
+	return nil
+}
+
+// timerSync is the deferred group fsync; a failure is recorded sticky and
+// surfaces on the next append or sync.
+func (w *writer) timerSync() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.timer = nil
+	if w.err == nil && w.pending > 0 {
+		_ = w.syncLocked()
+	}
+}
+
+// syncLocked fsyncs the segment and clears the pending count and timer.
+func (w *writer) syncLocked() error {
+	if w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+	if err := w.f.Sync(); err != nil {
+		if w.err == nil {
+			w.err = fmt.Errorf("wal: fsync: %w", err)
+		}
+		return w.err
+	}
+	w.pending = 0
+	return nil
+}
+
+// sync forces any pending records to stable storage. It overrides the
+// policy — even under SyncNone — because rotation relies on the superseded
+// segment being durable before the snapshot that replaces it is published.
+func (w *writer) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.pending == 0 {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// close syncs and closes the segment file.
+func (w *writer) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+	var firstErr error
+	if w.err == nil {
+		if err := w.f.Sync(); err != nil {
+			firstErr = fmt.Errorf("wal: fsync on close: %w", err)
+		}
+	} else {
+		firstErr = w.err
+	}
+	if err := w.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	w.err = fmt.Errorf("wal: writer is closed")
+	return firstErr
+}

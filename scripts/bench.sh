@@ -122,6 +122,12 @@ go test -run '^$' -bench 'BenchmarkEpochRebuild' \
     -benchtime "${REBUILD_BENCHTIME:-50x}" ./internal/core/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkStreamingEviction' \
     -benchtime "${EVICT_BENCHTIME:-500x}" ./internal/core/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkWALAppend' \
+    -benchtime "${WAL_BENCHTIME:-2000x}" ./internal/core/ >>"$tmp"
+# Each recovery op replays the whole multi-thousand-pair tail, so a handful
+# of iterations is already milliseconds of measured work per op.
+go test -run '^$' -bench 'BenchmarkRecovery' \
+    -benchtime "${RECOVER_BENCHTIME:-20x}" ./internal/core/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkPredictBatch|BenchmarkServeThroughput' \
     -benchtime "${BATCH_BENCHTIME:-100x}" . >>"$tmp"
 
