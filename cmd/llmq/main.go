@@ -248,12 +248,18 @@ func cmdTrain(args []string, out io.Writer) error {
 	dataDir := fs.String("data-dir", "", "durable model directory: WAL-log every training pair and checkpoint the result, resumable by serve -data-dir")
 	walSync := fs.String("wal-sync", "group", "WAL fsync policy under -data-dir: group, always or none")
 	snapEvery := fs.Int("snapshot-every", 4096, "training pairs between WAL snapshot rotations under -data-dir")
+	url := fs.String("url", "", "ship the computed training pairs to a running `llmq serve` /train endpoint instead of writing a model file")
 	getCap := capacityFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dataDir == "" && (*walSync != "group" || *snapEvery != 4096) {
 		return errors.New("train: -wal-sync/-snapshot-every need -data-dir")
+	}
+	if *url != "" && (*dataDir != "" || getCap().any()) {
+		// The remote server owns its model's durability and capacity; the
+		// client only computes and ships the pairs.
+		return errors.New("train: -url is remote training; -data-dir/-max-prototypes belong to the server")
 	}
 	if *data == "" {
 		return errors.New("train: -data is required")
@@ -295,6 +301,19 @@ func cmdTrain(args []string, out io.Writer) error {
 	h, err := workload.NewHarness(e, gen)
 	if err != nil {
 		return err
+	}
+	if *url != "" {
+		// Remote training: this node plays the engine — it executes the
+		// workload to produce exact (query, answer) pairs — and the serving
+		// node absorbs them through /train, shedding and retrying under its
+		// own admission control.
+		pp, err := h.TrainingPairs(*pairs)
+		if err != nil {
+			return err
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		return remoteTrain(ctx, out, *url, pp)
 	}
 	cfg := core.DefaultConfig(ds.Dim())
 	cfg.ResolutionA = *a
@@ -448,14 +467,22 @@ func loadModel(path string, dim int) (*core.Model, error) {
 // input order.
 func cmdBatch(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
-	data := fs.String("data", "", "dataset CSV backing the relation (required)")
+	data := fs.String("data", "", "dataset CSV backing the relation (required unless -url)")
 	modelPath := fs.String("model", "", "trained model JSON (required for APPROX statements)")
 	file := fs.String("file", "", "statement file, one per line (required; '-' reads stdin)")
+	url := fs.String("url", "", "ship the statements to a running `llmq serve` instance (e.g. http://localhost:8080) instead of executing locally")
 	getCap := capacityFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *data == "" || *file == "" {
+	if *url != "" {
+		if *data != "" || *modelPath != "" || getCap().any() {
+			return errors.New("batch: -url is remote execution; -data/-model/-max-prototypes belong to the server")
+		}
+		if *file == "" {
+			return errors.New("batch: -file is required")
+		}
+	} else if *data == "" || *file == "" {
 		return errors.New("batch: -data and -file are required")
 	}
 	var src io.Reader = os.Stdin
@@ -481,6 +508,14 @@ func cmdBatch(args []string, out io.Writer) error {
 	}
 	if len(sqls) == 0 {
 		return errors.New("batch: no statements in input")
+	}
+	if *url != "" {
+		// Remote mode: the server parses, admits and executes; the client
+		// retries sheds with backoff. Ctrl-C cancels between chunks and
+		// mid-retry alike.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		return remoteBatch(ctx, out, *url, sqls)
 	}
 	stmts := make([]*sqlfront.Statement, len(sqls))
 	needModel := false

@@ -10,11 +10,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"llmq/internal/core"
 	"llmq/internal/dataset"
+	"llmq/internal/resilience"
 	"llmq/internal/serve"
 	"llmq/internal/wal"
 )
@@ -22,6 +24,12 @@ import (
 // cmdServe stands up the HTTP analytics service of internal/serve over one
 // CSV-backed relation: the exact executor answers plain statements, and a
 // trained model (optional) answers APPROX statements without data access.
+//
+// The port is bound before the dataset load and WAL recovery run, serving
+// the serve.Recovering stub until the real handler is ready: an
+// orchestrator restarting the process sees /healthz up immediately and
+// /readyz flip from "recovering" to "ready" when replay finishes, instead
+// of connection refusals it cannot tell apart from a dead host.
 func cmdServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	data := fs.String("data", "", "dataset CSV backing the relation (required)")
@@ -32,45 +40,53 @@ func cmdServe(args []string, out io.Writer) error {
 	walSync := fs.String("wal-sync", "group", "WAL fsync policy under -data-dir: group, always or none")
 	snapEvery := fs.Int("snapshot-every", 4096, "training pairs between WAL snapshot rotations under -data-dir")
 	getCap := capacityFlags(fs)
+	getLimits := limitFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *data == "" {
 		return errors.New("serve: -data is required")
 	}
-	var (
-		s    *serve.Server
-		d    *core.Durable
-		info string
-		err  error
-	)
-	if *dataDir != "" {
-		if *modelPath != "" {
-			// The data dir is the durable source of truth; loading a second
-			// model beside it would leave /train traffic split between two
-			// states. `llmq train -data-dir` seeds a directory from scratch.
-			return errors.New("serve: -model and -data-dir are mutually exclusive")
-		}
-		s, d, info, err = buildDurableServer(*data, *dataDir, *walSync, *snapEvery, *cell, getCap())
-	} else {
-		if *walSync != "group" || *snapEvery != 4096 {
-			return errors.New("serve: -wal-sync/-snapshot-every need -data-dir")
-		}
-		s, info, err = buildServer(*data, *modelPath, *cell, getCap())
+	if *dataDir != "" && *modelPath != "" {
+		// The data dir is the durable source of truth; loading a second
+		// model beside it would leave /train traffic split between two
+		// states. `llmq train -data-dir` seeds a directory from scratch.
+		return errors.New("serve: -model and -data-dir are mutually exclusive")
 	}
-	if err != nil {
-		return fmt.Errorf("serve: %w", err)
+	if *dataDir == "" && (*walSync != "group" || *snapEvery != 4096) {
+		return errors.New("serve: -wal-sync/-snapshot-every need -data-dir")
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		if d != nil {
-			_ = d.Close()
-		}
 		return fmt.Errorf("serve: %w", err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	serr := serveUntil(ctx, s, ln, out, info)
+	// Bind first, build second: the listener answers with the recovering
+	// stub while the dataset loads and the WAL replays, then the real
+	// handler is swapped in atomically.
+	var root handlerSwitch
+	root.Store(serve.Recovering())
+	errc := make(chan error, 1)
+	go func() { errc <- serveUntil(ctx, &root, ln, out, "(recovering)") }()
+	var (
+		s    *serve.Server
+		d    *core.Durable
+		info string
+	)
+	if *dataDir != "" {
+		s, d, info, err = buildDurableServer(*data, *dataDir, *walSync, *snapEvery, *cell, getCap(), serve.WithLimits(getLimits()))
+	} else {
+		s, info, err = buildServer(*data, *modelPath, *cell, getCap(), serve.WithLimits(getLimits()))
+	}
+	if err != nil {
+		stop()
+		<-errc
+		return fmt.Errorf("serve: %w", err)
+	}
+	root.Store(s)
+	fmt.Fprintf(out, "llmq: ready, serving %s\n", info)
+	serr := <-errc
 	if d != nil {
 		// The final checkpoint: pairs ingested since the last rotation are
 		// folded into a fresh snapshot so the next boot replays nothing.
@@ -79,6 +95,45 @@ func cmdServe(args []string, out io.Writer) error {
 		}
 	}
 	return serr
+}
+
+// handlerSwitch is an atomically swappable http.Handler: the listener
+// serves the recovering stub through it until cmdServe stores the real
+// server, without restarting the http.Server.
+type handlerSwitch struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (hs *handlerSwitch) Store(h http.Handler) { hs.h.Store(&h) }
+
+func (hs *handlerSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*hs.h.Load()).ServeHTTP(w, r)
+}
+
+// limitFlags registers the overload-limit flags of the serve subcommand;
+// call the returned function after fs.Parse to collect the serve.Limits.
+func limitFlags(fs *flag.FlagSet) func() serve.Limits {
+	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-request deadline on /query and /query/batch; 0 disables")
+	admitQueries := fs.Int("admit-queries", 0, "admission capacity of the query class in statements (default: 4×GOMAXPROCS)")
+	admitTrain := fs.Int("admit-train", 0, "admission capacity of the train class in pairs (default: 8192)")
+	admitWait := fs.Duration("admit-wait", 100*time.Millisecond, "how long a request may wait for admission before a 429 shed")
+	degradeExact := fs.Bool("degrade-exact", false, "during overload, answer EXACT-eligible statements from the model (marked \"degraded\": true) instead of shedding them")
+	return func() serve.Limits {
+		l := serve.Limits{
+			QueryConcurrency: *admitQueries,
+			TrainConcurrency: *admitTrain,
+			AdmitWait:        *admitWait,
+			QueryTimeout:     *queryTimeout,
+			DegradeExact:     *degradeExact,
+		}
+		if *queryTimeout <= 0 {
+			l.QueryTimeout = -1 // Limits semantics: 0 means default, negative disables
+		}
+		if *admitWait <= 0 {
+			l.AdmitWait = -1
+		}
+		return l
+	}
 }
 
 // shutdownTimeout bounds the graceful drain: in-flight handlers get this
@@ -92,14 +147,13 @@ const shutdownTimeout = 10 * time.Second
 // statement sheet observes the cancellation: the /query/batch worker pools
 // stop claiming statements mid-sheet (the MeanBatchCtx/ForEachParallelCtx
 // plumbing), while http.Server.Shutdown stops the listener and drains the
-// handlers that are finishing up.
-func serveUntil(ctx context.Context, s *serve.Server, ln net.Listener, out io.Writer, info string) error {
+// handlers that are finishing up. The server carries the full set of
+// connection-phase timeouts (resilience.ServerTimeouts), so a slow-loris
+// client cannot pin goroutines through a stalled header, body or read.
+func serveUntil(ctx context.Context, h http.Handler, ln net.Listener, out io.Writer, info string) error {
 	fmt.Fprintf(out, "llmq: serving %s on http://%s\n", info, ln.Addr())
-	srv := &http.Server{
-		Handler:           s,
-		ReadHeaderTimeout: 10 * time.Second,
-		BaseContext:       func(net.Listener) context.Context { return ctx },
-	}
+	srv := resilience.NewHTTPServer(h, resilience.ServerTimeouts{})
+	srv.BaseContext = func(net.Listener) context.Context { return ctx }
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -124,7 +178,7 @@ func serveUntil(ctx context.Context, s *serve.Server, ln net.Listener, out io.Wr
 // two against each other, applies any serving-time capacity cap, and wires
 // the HTTP handler. Split from cmdServe so the smoke test can drive the
 // full construction path without binding a port.
-func buildServer(dataPath, modelPath string, cell float64, cp capacity) (*serve.Server, string, error) {
+func buildServer(dataPath, modelPath string, cell float64, cp capacity, opts ...serve.Option) (*serve.Server, string, error) {
 	e, ds, err := loadExecutor(dataPath, cell)
 	if err != nil {
 		return nil, "", err
@@ -145,7 +199,7 @@ func buildServer(dataPath, modelPath string, cell float64, cp capacity) (*serve.
 			return nil, "", err
 		}
 	}
-	s, err := serve.New(e, model)
+	s, err := serve.New(e, model, opts...)
 	if err != nil {
 		return nil, "", err
 	}
@@ -168,7 +222,7 @@ func buildServer(dataPath, modelPath string, cell float64, cp capacity) (*serve.
 // recovered model, force an immediate checkpoint, because SetCapacity is
 // not a WAL-logged event and replaying the tail under the old cap would
 // reconstruct a different model.
-func buildDurableServer(dataPath, dataDir, walSync string, snapEvery int, cell float64, cp capacity) (*serve.Server, *core.Durable, string, error) {
+func buildDurableServer(dataPath, dataDir, walSync string, snapEvery int, cell float64, cp capacity, opts ...serve.Option) (*serve.Server, *core.Durable, string, error) {
 	e, ds, err := loadExecutor(dataPath, cell)
 	if err != nil {
 		return nil, nil, "", err
@@ -214,7 +268,7 @@ func buildDurableServer(dataPath, dataDir, walSync string, snapEvery int, cell f
 	if k := d.Model().Config().Dim; k != ds.Dim() {
 		return fail(fmt.Errorf("recovered model dim %d does not match the relation's %d input attributes", k, ds.Dim()))
 	}
-	s, err := serve.NewDurable(e, d)
+	s, err := serve.NewDurable(e, d, opts...)
 	if err != nil {
 		return fail(err)
 	}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"llmq/internal/wal"
+)
+
+// TestDurableFlipsReadOnlyOnWALFault injects a WAL write failure and
+// requires the fail-safe contract end to end: the failing call reports
+// ErrReadOnly with the root cause, the failure is sticky across every
+// further training entry point even after the fault clears, queries keep
+// answering from the in-memory model, and a fresh Recover over the
+// directory reproduces exactly the acknowledged pairs — the injected
+// fault dropped nothing that was acked.
+func TestDurableFlipsReadOnlyOnWALFault(t *testing.T) {
+	dir := t.TempDir()
+	pairs := planeStream(400, 3, 0.3, []float64{0.5, -0.2, 1.1}, 1.0, 41)
+	var arm atomic.Bool
+	injected := errors.New("injected: no space left on device")
+	opts := DurableOptions{
+		WAL: wal.Options{Mode: wal.SyncNone, Fault: func(op string) error {
+			if arm.Load() {
+				return injected
+			}
+			return nil
+		}},
+		SnapshotEvery: 1 << 30, // no rotation: the acked pairs live in the WAL tail
+		Logf:          t.Logf,
+	}
+	d, err := Recover(dir, durableConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := pairs[:300]
+	if _, err := d.TrainBatch(acked); err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalState(t, d.Model())
+
+	// The fault hits: the batch is refused with ErrReadOnly + root cause.
+	arm.Store(true)
+	if _, err := d.TrainBatch(pairs[300:350]); !errors.Is(err, ErrReadOnly) || !errors.Is(err, injected) {
+		t.Fatalf("faulted TrainBatch: err = %v, want ErrReadOnly wrapping the injected fault", err)
+	}
+	if d.Failure() == nil {
+		t.Fatal("Failure() nil after a WAL fault")
+	}
+
+	// Sticky: the store stays read-only even after the disk "heals".
+	arm.Store(false)
+	if _, err := d.Observe(pairs[350].Query, pairs[350].Answer); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Observe after fault cleared: err = %v, want ErrReadOnly", err)
+	}
+	if _, err := d.TrainBatch(pairs[350:360]); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("TrainBatch after fault cleared: err = %v, want ErrReadOnly", err)
+	}
+	if err := d.Snapshot(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Snapshot on a read-only store: err = %v, want ErrReadOnly", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Sync on a read-only store: err = %v, want ErrReadOnly", err)
+	}
+
+	// Queries keep serving the in-memory model untouched.
+	if got := canonicalState(t, d.Model()); got != want {
+		t.Fatal("read-only flip changed the in-memory model")
+	}
+	if _, err := d.Model().PredictMean(acked[0].Query); err != nil {
+		t.Fatalf("query on a read-only store: %v", err)
+	}
+
+	// Close reports the failure instead of pretending a clean shutdown.
+	if err := d.Close(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Close on a read-only store: err = %v, want ErrReadOnly", err)
+	}
+
+	// Recovery after the fault clears: bit-identical to the model that
+	// held exactly the acknowledged pairs.
+	d2, err := Recover(dir, durableConfig(), DurableOptions{WAL: wal.Options{Mode: wal.SyncNone}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Failure() != nil {
+		t.Fatalf("fresh recovery is read-only: %v", d2.Failure())
+	}
+	if d2.Model().Steps() != len(acked) {
+		t.Fatalf("recovered %d steps, want the %d acked pairs", d2.Model().Steps(), len(acked))
+	}
+	if got := canonicalState(t, d2.Model()); got != want {
+		t.Fatal("recovered model differs from the state at the last ack")
+	}
+	// And the recovered store is writable again.
+	if _, err := d2.Observe(pairs[300].Query, pairs[300].Answer); err != nil {
+		t.Fatalf("training after recovery: %v", err)
+	}
+}
+
+// TestDurableReadOnlyOnRotationFault makes the failure injection hit the
+// rotation fsync instead of a plain append: the store must flip read-only
+// the same way (a checkpoint that cannot flush its superseded segment is
+// a WAL failure like any other).
+func TestDurableReadOnlyOnRotationFault(t *testing.T) {
+	dir := t.TempDir()
+	pairs := planeStream(100, 3, 0.3, []float64{0.5, -0.2, 1.1}, 1.0, 43)
+	var arm atomic.Bool
+	injected := errors.New("injected: fsync failed")
+	opts := DurableOptions{
+		WAL: wal.Options{Mode: wal.SyncNone, Fault: func(op string) error {
+			if arm.Load() && op == "sync" {
+				return injected
+			}
+			return nil
+		}},
+		SnapshotEvery: 1 << 30,
+		Logf:          t.Logf,
+	}
+	d, err := Recover(dir, durableConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.TrainBatch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	arm.Store(true)
+	if err := d.Snapshot(); !errors.Is(err, ErrReadOnly) || !errors.Is(err, injected) {
+		t.Fatalf("faulted Snapshot: err = %v, want ErrReadOnly wrapping the injected fault", err)
+	}
+	arm.Store(false)
+	if _, err := d.Observe(pairs[0].Query, pairs[0].Answer); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Observe after rotation fault: err = %v, want ErrReadOnly", err)
+	}
+	_ = d.Close()
+}

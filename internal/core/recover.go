@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math"
@@ -9,6 +10,16 @@ import (
 
 	"llmq/internal/wal"
 )
+
+// ErrReadOnly marks a Durable whose write-ahead log failed: the store has
+// flipped to read-only — queries keep answering from the in-memory model,
+// but every further training call fails with an error wrapping this
+// sentinel and the original I/O failure. The failure is sticky by design:
+// a log that could not take an append has an undefined tail, and training
+// past it would hand out acknowledgements the WAL cannot back. Recovery
+// (a process restart over the same directory, once the disk is healthy)
+// is the only way back to writable.
+var ErrReadOnly = errors.New("core: durable store is read-only after a WAL failure")
 
 // The durability layer: a Model wrapped so that every training pair is
 // written ahead to a wal.Log before it is applied, periodic Checkpoint
@@ -53,13 +64,18 @@ func (o DurableOptions) withDefaults() DurableOptions {
 // order); the wrapped Model's read side stays lock-free, so serving traffic
 // is unaffected. All training must go through the Durable: a pair applied
 // directly to Model() bypasses the log and is lost on the next crash.
+//
+// Failure is fail-safe, not fail-stop: the first WAL append, fsync or
+// rotation error flips the store read-only (ErrReadOnly) while queries
+// keep serving the in-memory model — see Failure.
 type Durable struct {
 	m    *Model
 	opts DurableOptions
 
 	mu        sync.Mutex // orders append-then-apply; excludes rotation
 	log       *wal.Log
-	sinceSnap int // pairs appended since the last snapshot
+	sinceSnap int   // pairs appended since the last snapshot
+	failure   error // first WAL failure; non-nil flips the store read-only
 }
 
 // Recover reconstructs the model from the data directory and opens it for
@@ -220,6 +236,28 @@ func replaySegment(m *Model, dir string, gen uint64, newest bool, logf func(stri
 // Durable's Observe/TrainBatch.
 func (d *Durable) Model() *Model { return d.m }
 
+// failLocked records the first WAL failure — flipping the store read-only
+// for good — and returns it wrapped in ErrReadOnly. Callers hold d.mu.
+// After a mid-batch append failure the log may be ahead of the in-memory
+// model (a prefix of the failed, never-acknowledged batch); that is the
+// safe direction: the next boot replays the orphaned prefix through the
+// normal training path, and no pair that was acknowledged is ever lost.
+func (d *Durable) failLocked(err error) error {
+	if d.failure == nil {
+		d.failure = err
+	}
+	return fmt.Errorf("%w: %w", ErrReadOnly, d.failure)
+}
+
+// Failure returns nil while the store is writable, and the root-cause WAL
+// error once it has flipped read-only (check errors.Is(err, ErrReadOnly)
+// on training errors, or poll this for a readiness probe).
+func (d *Durable) Failure() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failure
+}
+
 // View pins the current published model version; see Model.View.
 func (d *Durable) View() View { return d.m.View() }
 
@@ -236,15 +274,21 @@ func (d *Durable) Observe(q Query, answer float64) (StepInfo, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.failure != nil {
+		return StepInfo{}, fmt.Errorf("%w: %w", ErrReadOnly, d.failure)
+	}
 	if err := d.log.Append(wal.Record{Center: q.Center, Theta: q.Theta, Answer: answer}); err != nil {
-		return StepInfo{}, err
+		return StepInfo{}, d.failLocked(err)
 	}
 	info, err := d.m.Observe(q, answer)
 	if err != nil {
 		return info, err
 	}
 	d.sinceSnap++
-	return info, d.maybeRotateLocked()
+	if err := d.maybeRotateLocked(); err != nil {
+		return info, d.failLocked(err)
+	}
+	return info, nil
 }
 
 // TrainBatch durably consumes a batch: every pair is validated, appended to
@@ -261,9 +305,12 @@ func (d *Durable) TrainBatch(pairs []TrainingPair) (TrainingResult, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.failure != nil {
+		return TrainingResult{}, fmt.Errorf("%w: %w", ErrReadOnly, d.failure)
+	}
 	for _, p := range pairs {
 		if err := d.log.Append(wal.Record{Center: p.Query.Center, Theta: p.Query.Theta, Answer: p.Answer}); err != nil {
-			return TrainingResult{}, err
+			return TrainingResult{}, d.failLocked(err)
 		}
 	}
 	res, err := d.m.TrainBatch(pairs)
@@ -271,7 +318,10 @@ func (d *Durable) TrainBatch(pairs []TrainingPair) (TrainingResult, error) {
 		return res, err
 	}
 	d.sinceSnap += len(pairs)
-	return res, d.maybeRotateLocked()
+	if err := d.maybeRotateLocked(); err != nil {
+		return res, d.failLocked(err)
+	}
+	return res, nil
 }
 
 // maybeRotateLocked rotates the log onto a fresh checkpoint once enough
@@ -294,19 +344,33 @@ func (d *Durable) rotateLocked() error {
 }
 
 // Snapshot forces a checkpoint + log rotation now, independent of the
-// SnapshotEvery cadence.
+// SnapshotEvery cadence. A rotation failure — the tail fsync or the
+// snapshot write hitting a sick disk — flips the store read-only like any
+// other WAL failure.
 func (d *Durable) Snapshot() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.rotateLocked()
+	if d.failure != nil {
+		return fmt.Errorf("%w: %w", ErrReadOnly, d.failure)
+	}
+	if err := d.rotateLocked(); err != nil {
+		return d.failLocked(err)
+	}
+	return nil
 }
 
 // Sync forces every appended pair to stable storage regardless of the sync
-// policy.
+// policy. A failed fsync flips the store read-only.
 func (d *Durable) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.log.Sync()
+	if d.failure != nil {
+		return fmt.Errorf("%w: %w", ErrReadOnly, d.failure)
+	}
+	if err := d.log.Sync(); err != nil {
+		return d.failLocked(err)
+	}
+	return nil
 }
 
 // Gen returns the current snapshot/segment generation (diagnostics).
@@ -320,9 +384,15 @@ func (d *Durable) Gen() uint64 {
 // last snapshot are checkpointed (so the next Recover replays nothing) and
 // the log is closed. Close with pending pairs pays one snapshot write; a
 // process killed instead of closed just pays that replay at the next boot.
+// A read-only store skips the checkpoint — its log must not grow past the
+// failure — closes what it can, and reports the root cause.
 func (d *Durable) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.failure != nil {
+		_ = d.log.Close()
+		return fmt.Errorf("%w: %w", ErrReadOnly, d.failure)
+	}
 	var rerr error
 	if d.sinceSnap > 0 {
 		rerr = d.rotateLocked()

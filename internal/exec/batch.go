@@ -86,7 +86,7 @@ func (e *Executor) MeanBatchCtx(ctx context.Context, qs []RadiusQuery) ([]MeanRe
 	errs := make([]error, len(qs))
 	ran := make([]bool, len(qs))
 	if err := ForEachParallelCtx(ctx, len(qs), func(i int) {
-		results[i], errs[i] = e.Mean(qs[i])
+		results[i], errs[i] = e.MeanCtx(ctx, qs[i])
 		ran[i] = true
 	}); err != nil {
 		markSkipped(errs, ran, err)
@@ -106,7 +106,7 @@ func (e *Executor) RegressionBatchCtx(ctx context.Context, qs []RadiusQuery) ([]
 	errs := make([]error, len(qs))
 	ran := make([]bool, len(qs))
 	if err := ForEachParallelCtx(ctx, len(qs), func(i int) {
-		results[i], errs[i] = e.Regression(qs[i])
+		results[i], errs[i] = e.RegressionCtx(ctx, qs[i])
 		ran[i] = true
 	}); err != nil {
 		markSkipped(errs, ran, err)

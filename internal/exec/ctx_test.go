@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"llmq/internal/synth"
+)
+
+// TestMeanRegressionCtxCancelled verifies the context-aware exact path: a
+// cancelled context stops MeanCtx/RegressionCtx with the context error
+// before (or during) the scan, an expired deadline does the same, and a
+// live context changes nothing versus the plain entry points.
+func TestMeanRegressionCtxCancelled(t *testing.T) {
+	tab, ds := loadTable(t, 5000, 2, synth.Paraboloid, 0.1, 5)
+	e, err := NewExecutor(tab, ds.InputNames, ds.OutputName, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := RadiusQuery{Center: []float64{0.5, 0.5}, Theta: 0.3}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.MeanCtx(cancelled, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("MeanCtx on a cancelled context: err = %v", err)
+	}
+	if _, err := e.RegressionCtx(cancelled, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("RegressionCtx on a cancelled context: err = %v", err)
+	}
+
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := e.MeanCtx(expired, q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("MeanCtx past its deadline: err = %v", err)
+	}
+
+	// A live context is the identity: same answer as the plain call.
+	plain, err := e.Mean(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := e.MeanCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Mean != withCtx.Mean || plain.Count != withCtx.Count {
+		t.Errorf("MeanCtx = %+v, Mean = %+v", withCtx, plain)
+	}
+	pr, err := e.Regression(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := e.RegressionCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Intercept != cr.Intercept || pr.Count != cr.Count {
+		t.Errorf("RegressionCtx = %+v, Regression = %+v", cr, pr)
+	}
+}
+
+// TestBatchCtxThreadsIntoQueries checks the batch pools hand their context
+// down into the per-query executors: a pre-cancelled context yields the
+// context error in every errs slot (claimed or skipped alike).
+func TestBatchCtxThreadsIntoQueries(t *testing.T) {
+	tab, ds := loadTable(t, 2000, 2, synth.Paraboloid, 0.1, 7)
+	e, err := NewExecutor(tab, ds.InputNames, ds.OutputName, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]RadiusQuery, 16)
+	for i := range qs {
+		qs[i] = RadiusQuery{Center: []float64{0.5, 0.5}, Theta: 0.25}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs := e.MeanBatchCtx(ctx, qs)
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("errs[%d] = %v, want context.Canceled", i, err)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -177,7 +178,24 @@ func (e *Executor) Select(q RadiusQuery) ([]int, error) {
 // Mean executes the exact Q1 query: the average of the output attribute over
 // D(x, θ). It returns ErrEmptySubspace when no tuple qualifies.
 func (e *Executor) Mean(q RadiusQuery) (MeanResult, error) {
+	return e.MeanCtx(context.Background(), q)
+}
+
+// ctxCheckRows is how many reduction rows run between cancellation checks
+// in the context-aware executors: frequent enough that an abandoned scan
+// over a large subspace stops within microseconds, rare enough that the
+// atomic load is invisible in the per-row cost.
+const ctxCheckRows = 4096
+
+// MeanCtx is Mean bound to a context: the selection, the reduction loop
+// (checked every ctxCheckRows rows) and the stage boundaries all observe
+// cancellation, so a disconnected client or an expired deadline stops the
+// relation scan instead of leaving it running for nobody.
+func (e *Executor) MeanCtx(ctx context.Context, q RadiusQuery) (MeanResult, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return MeanResult{}, err
+	}
 	ids, err := e.Select(q)
 	if err != nil {
 		return MeanResult{}, err
@@ -185,9 +203,17 @@ func (e *Executor) Mean(q RadiusQuery) (MeanResult, error) {
 	if len(ids) == 0 {
 		return MeanResult{}, ErrEmptySubspace
 	}
+	if err := ctx.Err(); err != nil {
+		return MeanResult{}, err
+	}
 	out := e.table.ColumnAt(e.outCol)
 	var sum float64
-	for _, id := range ids {
+	for i, id := range ids {
+		if i%ctxCheckRows == ctxCheckRows-1 {
+			if err := ctx.Err(); err != nil {
+				return MeanResult{}, err
+			}
+		}
 		sum += out[id]
 	}
 	return MeanResult{
@@ -200,7 +226,17 @@ func (e *Executor) Mean(q RadiusQuery) (MeanResult, error) {
 // Regression executes the exact Q2 query: a single multivariate OLS fit of
 // the output on the input attributes over D(x, θ) — the REG baseline.
 func (e *Executor) Regression(q RadiusQuery) (RegressionResult, error) {
+	return e.RegressionCtx(context.Background(), q)
+}
+
+// RegressionCtx is Regression bound to a context: cancellation is observed
+// before the selection, between the selection and the gather, and before
+// the OLS fit — the three cost cliffs of the exact Q2 path.
+func (e *Executor) RegressionCtx(ctx context.Context, q RadiusQuery) (RegressionResult, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return RegressionResult{}, err
+	}
 	ids, err := e.Select(q)
 	if err != nil {
 		return RegressionResult{}, err
@@ -208,7 +244,13 @@ func (e *Executor) Regression(q RadiusQuery) (RegressionResult, error) {
 	if len(ids) == 0 {
 		return RegressionResult{}, ErrEmptySubspace
 	}
+	if err := ctx.Err(); err != nil {
+		return RegressionResult{}, err
+	}
 	xs, us := e.gather(ids)
+	if err := ctx.Err(); err != nil {
+		return RegressionResult{}, err
+	}
 	model, err := linalg.FitOLS(xs, us)
 	if err != nil {
 		return RegressionResult{}, fmt.Errorf("exec: regression over %d tuples: %w", len(ids), err)

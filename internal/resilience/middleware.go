@@ -1,0 +1,73 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// WithTimeout wraps a handler so every request's context carries a
+// deadline d from the moment the handler is entered: work that honors
+// ctx (the exec.*Ctx plumbing, the batch worker pools) stops at the
+// deadline instead of running on for a client that has given up. d ≤ 0
+// returns h unchanged.
+func WithTimeout(h http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// ServerTimeouts bounds how long one connection may hold server resources
+// in each phase of its life; zero fields take the defaults noted. These
+// are the slow-client (slow-loris) defenses: without them a client that
+// trickles its request header, stalls mid-body or never reads the
+// response pins a goroutine and a connection forever.
+type ServerTimeouts struct {
+	// ReadHeader bounds reading the request line and header. Default 10s.
+	ReadHeader time.Duration
+	// Read bounds reading the whole request including the body. Default 30s.
+	Read time.Duration
+	// Write bounds writing the response, counted from the end of the
+	// header read. It must exceed the longest admitted request deadline or
+	// the server truncates its own slow answers. Default 90s.
+	Write time.Duration
+	// Idle bounds how long a keep-alive connection may sit between
+	// requests. Default 120s.
+	Idle time.Duration
+}
+
+func (t ServerTimeouts) withDefaults() ServerTimeouts {
+	if t.ReadHeader <= 0 {
+		t.ReadHeader = 10 * time.Second
+	}
+	if t.Read <= 0 {
+		t.Read = 30 * time.Second
+	}
+	if t.Write <= 0 {
+		t.Write = 90 * time.Second
+	}
+	if t.Idle <= 0 {
+		t.Idle = 120 * time.Second
+	}
+	return t
+}
+
+// NewHTTPServer builds an http.Server over h with the phase timeouts
+// applied — the one constructor both cmd/llmq serve and the chaos harness
+// use, so the production listener and the one under attack in tests share
+// the same defenses.
+func NewHTTPServer(h http.Handler, t ServerTimeouts) *http.Server {
+	t = t.withDefaults()
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+}

@@ -1,0 +1,225 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreAdmitsUpToCapacity(t *testing.T) {
+	s := NewSemaphore(4, 0)
+	for i := 0; i < 4; i++ {
+		if err := s.Acquire(context.Background(), 1); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if err := s.Acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("acquire past capacity with zero budget: err = %v, want ErrOverloaded", err)
+	}
+	s.Release(1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestSemaphoreWeightedAndClamped(t *testing.T) {
+	s := NewSemaphore(8, 0)
+	if err := s.Acquire(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	// 5 + 4 > 8: must shed.
+	if err := s.Acquire(context.Background(), 4); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overweight acquire: err = %v", err)
+	}
+	s.Release(5)
+	// Heavier than the whole capacity: clamped, runs alone.
+	if err := s.Acquire(context.Background(), 100); err != nil {
+		t.Fatalf("clamped acquire: %v", err)
+	}
+	if s.TryAcquire(1) {
+		t.Fatal("TryAcquire succeeded while a clamped full-capacity holder is in")
+	}
+	s.Release(100)
+	if !s.TryAcquire(1) {
+		t.Fatal("TryAcquire failed on an empty semaphore")
+	}
+}
+
+func TestSemaphoreWaitBudget(t *testing.T) {
+	s := NewSemaphore(1, 50*time.Millisecond)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Released within the budget: the waiter is admitted.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		s.Release(1)
+	}()
+	start := time.Now()
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("acquire within budget: %v", err)
+	}
+	if time.Since(start) > 45*time.Millisecond {
+		t.Errorf("admission took %v, release was after 10ms", time.Since(start))
+	}
+	// Never released: the budget elapses and the request is shed.
+	start = time.Now()
+	if err := s.Acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("budget-exhausted acquire: err = %v", err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Errorf("shed after %v, budget is 50ms", d)
+	}
+	_, _, shed := s.Stats()
+	if shed == 0 {
+		t.Error("shed counter did not advance")
+	}
+	s.Release(1)
+}
+
+func TestSemaphoreContextCancel(t *testing.T) {
+	s := NewSemaphore(1, time.Minute)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if err := s.Acquire(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire: err = %v", err)
+	}
+	// The cancelled waiter must have left the queue: a release admits
+	// nobody and the slot is free again.
+	s.Release(1)
+	if !s.TryAcquire(1) {
+		t.Fatal("slot not free after cancelled waiter + release")
+	}
+	s.Release(1)
+}
+
+func TestSemaphoreFIFONoStarvation(t *testing.T) {
+	s := NewSemaphore(4, time.Second)
+	if err := s.Acquire(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	// A heavy waiter queues first, then light ones; FIFO means the heavy
+	// one is admitted first even though the light ones would fit sooner.
+	ready := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(ready)
+		if err := s.Acquire(context.Background(), 4); err != nil {
+			t.Errorf("heavy acquire: %v", err)
+			return
+		}
+		mu.Lock()
+		order = append(order, 4)
+		mu.Unlock()
+		s.Release(4)
+	}()
+	<-ready
+	time.Sleep(20 * time.Millisecond) // let the heavy waiter enqueue
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Acquire(context.Background(), 1); err != nil {
+				t.Errorf("light acquire: %v", err)
+				return
+			}
+			mu.Lock()
+			order = append(order, 1)
+			mu.Unlock()
+			s.Release(1)
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	s.Release(4)
+	wg.Wait()
+	if len(order) != 3 || order[0] != 4 {
+		t.Errorf("admission order %v, want the heavy (4) waiter first", order)
+	}
+}
+
+func TestSemaphoreSaturatedSignal(t *testing.T) {
+	s := NewSemaphore(2, 500*time.Millisecond)
+	if err := s.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Saturated() {
+		t.Fatal("saturated with an empty queue")
+	}
+	var started sync.WaitGroup
+	var done sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			started.Done()
+			if err := s.Acquire(context.Background(), 1); err == nil {
+				s.Release(1)
+			}
+		}()
+	}
+	started.Wait()
+	deadline := time.Now().Add(time.Second)
+	for !s.Saturated() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !s.Saturated() {
+		t.Fatal("queue holding a full capacity of weight not reported saturated")
+	}
+	if ra := s.RetryAfter(); ra < time.Second {
+		t.Errorf("RetryAfter = %v, want >= 1s", ra)
+	}
+	s.Release(2)
+	done.Wait()
+}
+
+// TestSemaphoreFloodRace hammers one small semaphore from many goroutines
+// under -race: the admitted weight must never exceed capacity and every
+// admission must be released.
+func TestSemaphoreFloodRace(t *testing.T) {
+	s := NewSemaphore(3, time.Millisecond)
+	var peak atomic.Int64
+	var inflight atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				w := int64(1 + (g+i)%3)
+				if err := s.Acquire(context.Background(), w); err != nil {
+					continue
+				}
+				cur := inflight.Add(w)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				inflight.Add(-w)
+				s.Release(w)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 3 {
+		t.Errorf("admitted weight peaked at %d, capacity is 3", p)
+	}
+	if cur, waiting, _ := s.Stats(); cur != 0 || waiting != 0 {
+		t.Errorf("semaphore not drained: inflight=%d waiting=%d", cur, waiting)
+	}
+}

@@ -19,23 +19,55 @@
 //	                    before it is applied, so ingested traffic survives a
 //	                    crash — without one, training is volatile
 //	GET  /model       → model metadata (K, steps, convergence, vigilance)
-//	GET  /healthz     → liveness probe
+//	GET  /healthz     → liveness probe (is the process up at all)
+//	GET  /readyz      → readiness probe: ready / overloaded / read-only /
+//	                    recovering, so an orchestrator can stop routing
+//	                    traffic to a degraded instance without killing it
 //
 // The handler is a plain http.Handler so it can be mounted into any mux.
 // Individual requests already run on separate goroutines under net/http;
 // the batch endpoint additionally parallelizes within one request, so a
 // single analyst submitting a query sheet saturates the cores too.
+//
+// # Overload behaviour
+//
+// The server survives flood, stall and disk failure by shedding instead of
+// queueing (see Limits):
+//
+//   - Admission control: a weighted semaphore per endpoint class — query
+//     (/query and /query/batch share it, a batch sheet costing its
+//     statement count) and train (costing the pair count). A request that
+//     cannot be admitted within the wait budget gets 429 + Retry-After.
+//   - Deadlines: every query request's context carries QueryTimeout; the
+//     exact executors and batch pools observe it (exec.*Ctx), so an
+//     admitted request completes or dies by its deadline — never later.
+//   - Brownout: while the admission queue is saturated, EXACT statements —
+//     the expensive relation scans — are shed first (503) while APPROX
+//     statements keep answering from the model's lock-free read path. With
+//     Limits.DegradeExact, EXACT-eligible statements are instead answered
+//     from the model with "degraded": true — the paper's own pitch (the
+//     model absorbs traffic the engine cannot) applied as a resilience
+//     mechanism.
+//   - Fail-safe writes: a WAL failure flips the durable store read-only
+//     (core.ErrReadOnly); /train answers 503 naming the root cause, /readyz
+//     reports "read-only", and queries keep serving.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"llmq/internal/core"
 	"llmq/internal/exec"
+	"llmq/internal/resilience"
 	"llmq/internal/sqlfront"
 )
 
@@ -45,6 +77,11 @@ type Server struct {
 	model   *core.Model
 	durable *core.Durable // non-nil when /train must WAL-log before applying
 	mux     *http.ServeMux
+
+	limits     Limits
+	admitQuery *resilience.Semaphore
+	admitTrain *resilience.Semaphore
+	lastSat    atomic.Int64 // unixnano of the last observed queue saturation
 }
 
 const (
@@ -59,9 +96,77 @@ const (
 	maxBodyBytes = 4 << 20
 )
 
+// Limits bounds what one server instance will take on at once; the zero
+// value of each field takes the default noted. DefaultLimits returns the
+// resolved defaults.
+type Limits struct {
+	// QueryConcurrency is the admission capacity of the query class in
+	// statements: /query costs 1, /query/batch costs its statement count
+	// (clamped to half the capacity, so one maximal sheet can never
+	// starve single statements out entirely). Default 4×GOMAXPROCS, at
+	// least 16.
+	QueryConcurrency int
+	// TrainConcurrency is the admission capacity of the train class in
+	// pairs. Default 2×maxTrainPairs (one batch applying, one decoding).
+	TrainConcurrency int
+	// AdmitWait is the bounded wait budget: how long a request may wait
+	// for admission before it is shed with 429. Default 100ms; negative
+	// sheds immediately when full.
+	AdmitWait time.Duration
+	// QueryTimeout is the per-request deadline attached to the context of
+	// /query and /query/batch. Default 30s; negative disables it.
+	QueryTimeout time.Duration
+	// DegradeExact answers EXACT-eligible statements from the model
+	// (marked "degraded": true) during brownout instead of shedding them.
+	DegradeExact bool
+	// BrownoutHold keeps brownout active this long past the last observed
+	// queue saturation, so the EXACT path does not flap at the boundary.
+	// Default 1s.
+	BrownoutHold time.Duration
+}
+
+// DefaultLimits returns the limits a Server runs with when none are given.
+func DefaultLimits() Limits { return Limits{}.withDefaults() }
+
+func (l Limits) withDefaults() Limits {
+	if l.QueryConcurrency <= 0 {
+		l.QueryConcurrency = 4 * runtime.GOMAXPROCS(0)
+		if l.QueryConcurrency < 16 {
+			l.QueryConcurrency = 16
+		}
+	}
+	if l.TrainConcurrency <= 0 {
+		l.TrainConcurrency = 2 * maxTrainPairs
+	}
+	switch {
+	case l.AdmitWait == 0:
+		l.AdmitWait = 100 * time.Millisecond
+	case l.AdmitWait < 0:
+		l.AdmitWait = 0
+	}
+	switch {
+	case l.QueryTimeout == 0:
+		l.QueryTimeout = 30 * time.Second
+	case l.QueryTimeout < 0:
+		l.QueryTimeout = 0
+	}
+	if l.BrownoutHold <= 0 {
+		l.BrownoutHold = time.Second
+	}
+	return l
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithLimits replaces the default overload limits.
+func WithLimits(l Limits) Option {
+	return func(s *Server) { s.limits = l.withDefaults() }
+}
+
 // New creates a server. The executor is required; the model may be nil, in
 // which case APPROX statements are rejected with 409.
-func New(e *exec.Executor, m *core.Model) (*Server, error) {
+func New(e *exec.Executor, m *core.Model, opts ...Option) (*Server, error) {
 	if e == nil {
 		return nil, errors.New("serve: executor is required")
 	}
@@ -69,12 +174,18 @@ func New(e *exec.Executor, m *core.Model) (*Server, error) {
 		return nil, fmt.Errorf("serve: model dim %d does not match the relation's %d input attributes",
 			m.Config().Dim, len(e.InputNames()))
 	}
-	s := &Server{exec: e, model: m, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/query/batch", s.handleBatch)
+	s := &Server{exec: e, model: m, mux: http.NewServeMux(), limits: DefaultLimits()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.admitQuery = resilience.NewSemaphore(int64(s.limits.QueryConcurrency), s.limits.AdmitWait)
+	s.admitTrain = resilience.NewSemaphore(int64(s.limits.TrainConcurrency), s.limits.AdmitWait)
+	s.mux.Handle("/query", resilience.WithTimeout(http.HandlerFunc(s.handleQuery), s.limits.QueryTimeout))
+	s.mux.Handle("/query/batch", resilience.WithTimeout(http.HandlerFunc(s.handleBatch), s.limits.QueryTimeout))
 	s.mux.HandleFunc("/train", s.handleTrain)
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	return s, nil
 }
 
@@ -84,7 +195,7 @@ func New(e *exec.Executor, m *core.Model) (*Server, error) {
 // applied, so ingested training traffic survives a crash and is replayed on
 // the next boot. The caller owns the Durable's lifecycle (Close on
 // shutdown, for the final checkpoint).
-func NewDurable(e *exec.Executor, d *core.Durable) (*Server, error) {
+func NewDurable(e *exec.Executor, d *core.Durable, opts ...Option) (*Server, error) {
 	if d == nil {
 		return nil, errors.New("serve: durable store is required")
 	}
@@ -95,7 +206,7 @@ func NewDurable(e *exec.Executor, d *core.Durable) (*Server, error) {
 		return nil, fmt.Errorf("serve: durable model dim %d does not match the relation's %d input attributes",
 			d.Model().Config().Dim, len(e.InputNames()))
 	}
-	s, err := New(e, d.Model())
+	s, err := New(e, d.Model(), opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -122,13 +233,16 @@ type LocalModelJSON struct {
 
 // QueryResponse is the body returned by POST /query.
 type QueryResponse struct {
-	Kind    string           `json:"kind"`
-	Approx  bool             `json:"approx"`
-	Mean    *float64         `json:"mean,omitempty"`
-	Value   *float64         `json:"value,omitempty"`
-	Models  []LocalModelJSON `json:"models,omitempty"`
-	Tuples  int              `json:"tuples,omitempty"`
-	Elapsed string           `json:"elapsed"`
+	Kind   string           `json:"kind"`
+	Approx bool             `json:"approx"`
+	Mean   *float64         `json:"mean,omitempty"`
+	Value  *float64         `json:"value,omitempty"`
+	Models []LocalModelJSON `json:"models,omitempty"`
+	Tuples int              `json:"tuples,omitempty"`
+	// Degraded marks an EXACT-eligible statement that was answered from
+	// the model because the server was in brownout (Limits.DegradeExact).
+	Degraded bool   `json:"degraded,omitempty"`
+	Elapsed  string `json:"elapsed"`
 }
 
 // ModelInfo is the body returned by GET /model.
@@ -157,8 +271,106 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// shed refuses a request with a well-formed overload response: the given
+// status plus a Retry-After header (integer seconds, at least 1) sized to
+// the admission queue depth, the format resilience.Do's backoff honors.
+func shed(w http.ResponseWriter, status int, retryAfter time.Duration, err error) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, status, err)
+}
+
+// decodeBody JSON-decodes a bounded request body into v, mapping the
+// error: a body past maxBodyBytes is 413 naming the limit (the
+// *http.MaxBytesError MaxBytesReader injects), anything else malformed is
+// 400. A zero status means the decode succeeded.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v)
+	if err == nil {
+		return 0, nil
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds the %d-byte limit", tooBig.Limit)
+	}
+	return http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ReadyResponse is the body returned by GET /readyz.
+type ReadyResponse struct {
+	// Status is "ready", "overloaded" (admission queue saturated),
+	// "read-only" (the durable store took a WAL failure and stopped
+	// accepting training) or "recovering" (boot-time WAL replay still
+	// running, served by the recovering stub handler).
+	Status string `json:"status"`
+	// Cause names the root failure for the read-only state.
+	Cause string `json:"cause,omitempty"`
+}
+
+// handleReady is the readiness probe: distinct from /healthz liveness so an
+// orchestrator can stop routing new traffic to an overloaded or read-only
+// instance without restarting a process that is still serving queries.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	if s.durable != nil {
+		if cause := s.durable.Failure(); cause != nil {
+			writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "read-only", Cause: cause.Error()})
+			return
+		}
+	}
+	if s.brownout() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "overloaded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready"})
+}
+
+// Recovering returns the stub handler a listener serves while boot-time
+// recovery (WAL replay, dataset load) is still running: /healthz answers
+// 200 (the process is alive), /readyz answers 503 "recovering", and every
+// other route is refused with 503 so clients back off rather than time
+// out. cmd/llmq serve binds its port immediately and swaps the real
+// handler in once recovery finishes.
+func Recovering() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "recovering"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		shed(w, http.StatusServiceUnavailable, 2*time.Second, errors.New("recovering: the server is replaying its write-ahead log"))
+	})
+	return mux
+}
+
+// brownout reports whether the server is under sustained admission
+// pressure: the query class's waiting line holds at least a full capacity
+// of work now, or did within the last BrownoutHold (hysteresis, so the
+// EXACT path does not flap at the saturation boundary).
+func (s *Server) brownout() bool {
+	if s.admitQuery.Saturated() {
+		s.lastSat.Store(time.Now().UnixNano())
+		return true
+	}
+	last := s.lastSat.Load()
+	return last != 0 && time.Since(time.Unix(0, last)) < s.limits.BrownoutHold
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -206,14 +418,22 @@ func (s *Server) reader() modelReader {
 	return s.model
 }
 
+// degradable reports whether a statement that asked for EXACT execution
+// could instead be answered by the model: every statement kind has an
+// APPROX twin, so the only requirement is a trained model of the right
+// dimensionality (parseStatement already validated the dimensions).
+func (s *Server) degradable() bool {
+	return s.limits.DegradeExact && s.model != nil && s.model.K() > 0
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
 	var req QueryRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+	if status, err := decodeBody(w, r, &req); status != 0 {
+		writeError(w, status, err)
 		return
 	}
 	if req.SQL == "" {
@@ -225,16 +445,58 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	resp, err := s.answer(stmt, s.reader())
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, exec.ErrEmptySubspace) {
-			status = http.StatusNotFound
+	// Brownout: shed the expensive relation scans first — or answer them
+	// from the model when degradation is armed — while APPROX statements
+	// ride through on the lock-free read path.
+	degraded := false
+	if !stmt.Approx && s.brownout() {
+		if !s.degradable() {
+			shed(w, http.StatusServiceUnavailable, s.admitQuery.RetryAfter(),
+				errors.New("overloaded: exact statements are browned out, retry later or use APPROX"))
+			return
 		}
-		writeError(w, status, err)
+		degraded = true
+	}
+	if err := s.admitQuery.Acquire(r.Context(), 1); err != nil {
+		s.shedQuery(w, r, err)
+		return
+	}
+	defer s.admitQuery.Release(1)
+	resp, err := s.answer(r.Context(), stmt, s.reader(), degraded)
+	if err != nil {
+		s.writeAnswerError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// shedQuery maps an admission failure: overload is 429 + Retry-After; a
+// dead request context means the client is gone or the deadline passed
+// before admission, which writeAnswerError maps.
+func (s *Server) shedQuery(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, resilience.ErrOverloaded) {
+		shed(w, http.StatusTooManyRequests, s.admitQuery.RetryAfter(),
+			errors.New("overloaded: admission queue is full, retry later"))
+		return
+	}
+	s.writeAnswerError(w, r, err)
+}
+
+// writeAnswerError maps an execution error to a response: an expired
+// deadline is 504 (the admitted request ran out of its time budget), a
+// client disconnect gets no body (nobody is reading), an empty subspace is
+// 404, everything else 500.
+func (s *Server) writeAnswerError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, errors.New("query deadline exceeded"))
+	case errors.Is(err, context.Canceled):
+		// The client hung up; there is nobody to write a body to.
+	case errors.Is(err, exec.ErrEmptySubspace):
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
 }
 
 // parseStatement parses and validates one SQL statement against the served
@@ -285,7 +547,9 @@ type TrainResponse struct {
 // (and periodic checkpoints rotate the log); without one the pairs train the
 // in-memory model only and die with the process. Either way the batch is
 // applied under one writer-lock acquisition while queries keep answering
-// lock-free from the previous published version.
+// lock-free from the previous published version. Admission is weighted by
+// the pair count; a read-only durable store (WAL failure) answers 503 with
+// the root cause.
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
@@ -295,9 +559,17 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, errors.New("no model loaded to train"))
 		return
 	}
+	if s.durable != nil {
+		if cause := s.durable.Failure(); cause != nil {
+			// Fail fast before decoding: the store cannot take the pairs.
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("store is read-only after a WAL failure: %v", cause))
+			return
+		}
+	}
 	var req TrainRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+	if status, err := decodeBody(w, r, &req); status != 0 {
+		writeError(w, status, err)
 		return
 	}
 	if len(req.Pairs) == 0 {
@@ -318,6 +590,17 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		}
 		pairs[i] = core.TrainingPair{Query: q, Answer: p.Answer}
 	}
+	weight := int64(len(pairs))
+	if err := s.admitTrain.Acquire(r.Context(), weight); err != nil {
+		if errors.Is(err, resilience.ErrOverloaded) {
+			shed(w, http.StatusTooManyRequests, s.admitTrain.RetryAfter(),
+				errors.New("overloaded: training admission queue is full, retry later"))
+			return
+		}
+		s.writeAnswerError(w, r, err)
+		return
+	}
+	defer s.admitTrain.Release(weight)
 	start := time.Now()
 	before := s.model.Steps()
 	var (
@@ -330,6 +613,10 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		res, err = s.model.TrainBatch(pairs)
 	}
 	if err != nil {
+		if errors.Is(err, core.ErrReadOnly) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -363,14 +650,29 @@ type BatchResponse struct {
 	Elapsed string `json:"elapsed"`
 }
 
+// batchWeight is what a sheet of n statements costs against the query
+// admission class: its statement count, clamped to half the capacity so
+// one maximal sheet leaves room for single statements (two can still fill
+// the server, and a third then waits its budget like anything else).
+func (s *Server) batchWeight(n int) int64 {
+	half := s.admitQuery.Capacity() / 2
+	if half < 1 {
+		half = 1
+	}
+	if w := int64(n); w < half {
+		return w
+	}
+	return half
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
 	var req BatchRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+	if status, err := decodeBody(w, r, &req); status != 0 {
+		writeError(w, status, err)
 		return
 	}
 	if len(req.SQL) == 0 {
@@ -382,6 +684,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch has %d statements, limit is %d", len(req.SQL), maxBatchStatements))
 		return
 	}
+	weight := s.batchWeight(len(req.SQL))
+	if err := s.admitQuery.Acquire(r.Context(), weight); err != nil {
+		s.shedQuery(w, r, err)
+		return
+	}
+	defer s.admitQuery.Release(weight)
+	// The brownout decision is taken once per sheet, at admission: every
+	// EXACT statement of the sheet is then either degraded or refused
+	// per-item, while the APPROX statements always run.
+	brown := s.brownout()
+	degradable := s.degradable()
 	start := time.Now()
 	// Pin one model version for the whole batch: the answers are mutually
 	// consistent even while a training stream or a zero-downtime model swap
@@ -391,23 +704,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		reader = s.model.View()
 	}
 	items := make([]BatchItem, len(req.SQL))
-	// The request context cancels when the client disconnects or the server
-	// shuts down: the pool stops claiming statements mid-sheet instead of
-	// finishing a batch nobody will read.
+	// The request context cancels when the client disconnects, the server
+	// shuts down or the deadline passes: the pool stops claiming statements
+	// mid-sheet instead of finishing a batch nobody will read.
 	if err := exec.ForEachParallelCtx(r.Context(), len(req.SQL), func(i int) {
 		stmt, _, err := s.parseStatement(req.SQL[i])
 		if err != nil {
 			items[i] = BatchItem{Error: err.Error()}
 			return
 		}
-		resp, err := s.answer(stmt, reader)
+		degraded := false
+		if !stmt.Approx && brown {
+			if !degradable {
+				items[i] = BatchItem{Error: "overloaded: exact statements are browned out, retry later or use APPROX"}
+				return
+			}
+			degraded = true
+		}
+		resp, err := s.answer(r.Context(), stmt, reader, degraded)
 		if err != nil {
 			items[i] = BatchItem{Error: err.Error()}
 			return
 		}
 		items[i] = BatchItem{QueryResponse: resp}
 	}); err != nil {
-		// The client is gone; there is nobody to write a body to.
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, errors.New("batch deadline exceeded"))
+		}
+		// Otherwise the client is gone; there is nobody to write a body to.
 		return
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{
@@ -416,9 +740,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) answer(stmt *sqlfront.Statement, model modelReader) (*QueryResponse, error) {
+// answer evaluates one parsed statement. EXACT statements run through the
+// context-aware executors, so a vanished client or an expired deadline
+// stops the relation scan; with degraded set (brownout + DegradeExact) an
+// EXACT statement is answered from the model instead and marked so.
+func (s *Server) answer(ctx context.Context, stmt *sqlfront.Statement, model modelReader, degraded bool) (*QueryResponse, error) {
 	start := time.Now()
-	resp := &QueryResponse{Kind: stmt.Kind.String(), Approx: stmt.Approx}
+	approx := stmt.Approx || degraded
+	resp := &QueryResponse{Kind: stmt.Kind.String(), Approx: approx, Degraded: degraded}
 	rq := exec.RadiusQuery{Center: stmt.Center, Theta: stmt.Theta, P: stmt.Norm}
 
 	finish := func() *QueryResponse {
@@ -428,7 +757,7 @@ func (s *Server) answer(stmt *sqlfront.Statement, model modelReader) (*QueryResp
 
 	switch stmt.Kind {
 	case sqlfront.StmtMean:
-		if stmt.Approx {
+		if approx {
 			q, err := core.NewQuery(stmt.Center, stmt.Theta)
 			if err != nil {
 				return nil, err
@@ -440,7 +769,7 @@ func (s *Server) answer(stmt *sqlfront.Statement, model modelReader) (*QueryResp
 			resp.Mean = &y
 			return finish(), nil
 		}
-		res, err := s.exec.Mean(rq)
+		res, err := s.exec.MeanCtx(ctx, rq)
 		if err != nil {
 			return nil, err
 		}
@@ -449,7 +778,7 @@ func (s *Server) answer(stmt *sqlfront.Statement, model modelReader) (*QueryResp
 		return finish(), nil
 
 	case sqlfront.StmtRegression:
-		if stmt.Approx {
+		if approx {
 			q, err := core.NewQuery(stmt.Center, stmt.Theta)
 			if err != nil {
 				return nil, err
@@ -469,7 +798,7 @@ func (s *Server) answer(stmt *sqlfront.Statement, model modelReader) (*QueryResp
 			}
 			return finish(), nil
 		}
-		res, err := s.exec.Regression(rq)
+		res, err := s.exec.RegressionCtx(ctx, rq)
 		if err != nil {
 			return nil, err
 		}
@@ -487,7 +816,7 @@ func (s *Server) answer(stmt *sqlfront.Statement, model modelReader) (*QueryResp
 		if len(stmt.At) != len(stmt.Center) {
 			return nil, fmt.Errorf("AT point has %d coordinates, centre has %d", len(stmt.At), len(stmt.Center))
 		}
-		if stmt.Approx {
+		if approx {
 			q, err := core.NewQuery(stmt.Center, stmt.Theta)
 			if err != nil {
 				return nil, err
@@ -499,7 +828,7 @@ func (s *Server) answer(stmt *sqlfront.Statement, model modelReader) (*QueryResp
 			resp.Value = &u
 			return finish(), nil
 		}
-		res, err := s.exec.Regression(rq)
+		res, err := s.exec.RegressionCtx(ctx, rq)
 		if err != nil {
 			return nil, err
 		}

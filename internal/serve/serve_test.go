@@ -18,7 +18,7 @@ import (
 
 // newServer builds a server over a small synthetic relation, optionally with
 // a trained model.
-func newServer(t *testing.T, withModel bool) *Server {
+func newServer(t *testing.T, withModel bool, opts ...Option) *Server {
 	t.Helper()
 	pts, err := synth.Generate(synth.R1Config(5000, 2, 31))
 	if err != nil {
@@ -56,7 +56,7 @@ func newServer(t *testing.T, withModel bool) *Server {
 			t.Fatal(err)
 		}
 	}
-	s, err := New(e, m)
+	s, err := New(e, m, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

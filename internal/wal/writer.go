@@ -61,6 +61,13 @@ type Options struct {
 	// FlushBatch caps how many records may accumulate unsynced under
 	// SyncGroup before an append fsyncs inline; ≤ 0 defaults to 256.
 	FlushBatch int
+	// Fault, when non-nil, is consulted before every physical segment
+	// write and fsync with the operation name ("write" or "sync"); a
+	// non-nil return is treated as that operation's I/O error, including
+	// the writer's sticky-error behaviour. It exists so the chaos and
+	// crash harnesses can inject disk failures (ENOSPC, dying device)
+	// without a faulty filesystem; production paths leave it nil.
+	Fault func(op string) error
 }
 
 func (o Options) withDefaults() Options {
@@ -98,7 +105,7 @@ func (w *writer) append(r Record) error {
 		return w.err
 	}
 	w.buf = appendRecord(w.buf[:0], r)
-	if _, err := w.f.Write(w.buf); err != nil {
+	if err := w.physWrite(w.buf); err != nil {
 		w.err = fmt.Errorf("wal: append: %w", err)
 		return w.err
 	}
@@ -128,13 +135,34 @@ func (w *writer) timerSync() {
 	}
 }
 
+// physWrite performs one segment write, routed through the fault hook.
+func (w *writer) physWrite(b []byte) error {
+	if f := w.opts.Fault; f != nil {
+		if err := f("write"); err != nil {
+			return err
+		}
+	}
+	_, err := w.f.Write(b)
+	return err
+}
+
+// physSync performs one segment fsync, routed through the fault hook.
+func (w *writer) physSync() error {
+	if f := w.opts.Fault; f != nil {
+		if err := f("sync"); err != nil {
+			return err
+		}
+	}
+	return w.f.Sync()
+}
+
 // syncLocked fsyncs the segment and clears the pending count and timer.
 func (w *writer) syncLocked() error {
 	if w.timer != nil {
 		w.timer.Stop()
 		w.timer = nil
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.physSync(); err != nil {
 		if w.err == nil {
 			w.err = fmt.Errorf("wal: fsync: %w", err)
 		}
@@ -169,7 +197,7 @@ func (w *writer) close() error {
 	}
 	var firstErr error
 	if w.err == nil {
-		if err := w.f.Sync(); err != nil {
+		if err := w.physSync(); err != nil {
 			firstErr = fmt.Errorf("wal: fsync on close: %w", err)
 		}
 	} else {

@@ -130,6 +130,12 @@ go test -run '^$' -bench 'BenchmarkRecovery' \
     -benchtime "${RECOVER_BENCHTIME:-20x}" ./internal/core/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkPredictBatch|BenchmarkServeThroughput' \
     -benchtime "${BATCH_BENCHTIME:-100x}" . >>"$tmp"
+# Overload cost model of the admission layer: exact sheets at 1x/4x/10x the
+# query capacity. At 4x/10x almost every sheet is refused, so those ns/op
+# measure the refusal path (cheap by design) — the gate watches load=1x,
+# where ns/op is the admitted service time.
+go test -run '^$' -bench 'BenchmarkServeOverload' \
+    -benchtime "${SERVE_BENCHTIME:-100x}" . >>"$tmp"
 
 
 awk -v gmp="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" \
