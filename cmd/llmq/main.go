@@ -211,7 +211,17 @@ func applyCapacity(m *core.Model, cp capacity) error {
 	if !cp.any() {
 		return nil
 	}
-	cfg := m.Config()
+	max, policy, merge, err := resolveCapacity(m.Config(), cp)
+	if err != nil {
+		return err
+	}
+	return m.SetCapacity(max, policy, merge)
+}
+
+// resolveCapacity turns the flag values into concrete SetCapacity
+// arguments against the model's persisted configuration: unset flags keep
+// what the model carries, and a nil policy means "keep the current one".
+func resolveCapacity(cfg core.Config, cp capacity) (int, core.EvictionPolicy, bool, error) {
 	if !cp.maxSet {
 		cp.maxProto = cfg.MaxPrototypes
 	}
@@ -219,7 +229,7 @@ func applyCapacity(m *core.Model, cp capacity) error {
 		// -evict/-merge on a model with no cap (persisted or given) would
 		// arm nothing: SetCapacity(0, …) means "uncapped". An explicit
 		// `-max-prototypes 0` alone still removes a persisted cap.
-		return errors.New("-evict/-merge need a capacity: pass -max-prototypes or load a model with a persisted cap")
+		return 0, nil, false, errors.New("-evict/-merge need a capacity: pass -max-prototypes or load a model with a persisted cap")
 	}
 	if !cp.mergeSet {
 		cp.merge = cfg.MergeOnEvict
@@ -230,10 +240,10 @@ func applyCapacity(m *core.Model, cp capacity) error {
 		// keeps whatever the model file carries.
 		var err error
 		if policy, err = core.ParseEvictionPolicy(cp.evict); err != nil {
-			return err
+			return 0, nil, false, err
 		}
 	}
-	return m.SetCapacity(cp.maxProto, policy, cp.merge)
+	return cp.maxProto, policy, cp.merge, nil
 }
 
 func cmdTrain(args []string, out io.Writer) error {

@@ -16,6 +16,7 @@ import (
 
 	"llmq/internal/core"
 	"llmq/internal/dataset"
+	"llmq/internal/replica"
 	"llmq/internal/resilience"
 	"llmq/internal/serve"
 	"llmq/internal/wal"
@@ -39,6 +40,8 @@ func cmdServe(args []string, out io.Writer) error {
 	dataDir := fs.String("data-dir", "", "durable model directory: recover the model from its snapshots+WAL on boot and WAL-log /train traffic (mutually exclusive with -model)")
 	walSync := fs.String("wal-sync", "group", "WAL fsync policy under -data-dir: group, always or none")
 	snapEvery := fs.Int("snapshot-every", 4096, "training pairs between WAL snapshot rotations under -data-dir")
+	follow := fs.String("follow", "", "replicate a primary `llmq serve` instance at this base URL into -data-dir and serve read-only from it (POST /promote, or -promote-after, turns this instance into the primary)")
+	promoteAfter := fs.Duration("promote-after", 0, "with -follow: auto-promote to primary after this long without primary contact; 0 requires an explicit POST /promote")
 	getCap := capacityFlags(fs)
 	getLimits := limitFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -56,6 +59,24 @@ func cmdServe(args []string, out io.Writer) error {
 	if *dataDir == "" && (*walSync != "group" || *snapEvery != 4096) {
 		return errors.New("serve: -wal-sync/-snapshot-every need -data-dir")
 	}
+	if *follow != "" {
+		switch {
+		case *dataDir == "":
+			// The mirror must live somewhere durable: a follower without a
+			// data dir could neither resume after a restart nor be promoted.
+			return errors.New("serve: -follow needs -data-dir for the local mirror")
+		case *modelPath != "":
+			return errors.New("serve: -follow and -model are mutually exclusive (the model ships from the primary)")
+		case getCap().any():
+			// A follower's state is exactly what the primary ships; local
+			// capacity flags would fork it. Re-cap on the primary instead —
+			// its SetCapacity is a WAL record and replicates.
+			return errors.New("serve: capacity flags belong to the primary; its SetCapacity replicates to followers")
+		}
+	}
+	if *promoteAfter != 0 && *follow == "" {
+		return errors.New("serve: -promote-after needs -follow")
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
@@ -72,11 +93,15 @@ func cmdServe(args []string, out io.Writer) error {
 	var (
 		s    *serve.Server
 		d    *core.Durable
+		rep  *replica.Replica
 		info string
 	)
-	if *dataDir != "" {
+	switch {
+	case *follow != "":
+		s, rep, info, err = buildFollowerServer(ctx, *data, *dataDir, *follow, *walSync, *snapEvery, *promoteAfter, *cell, serve.WithLimits(getLimits()))
+	case *dataDir != "":
 		s, d, info, err = buildDurableServer(*data, *dataDir, *walSync, *snapEvery, *cell, getCap(), serve.WithLimits(getLimits()))
-	} else {
+	default:
 		s, info, err = buildServer(*data, *modelPath, *cell, getCap(), serve.WithLimits(getLimits()))
 	}
 	if err != nil {
@@ -87,6 +112,15 @@ func cmdServe(args []string, out io.Writer) error {
 	root.Store(s)
 	fmt.Fprintf(out, "llmq: ready, serving %s\n", info)
 	serr := <-errc
+	if rep != nil {
+		// A promoted follower owns a real durable store by now; a plain
+		// follower just seals its mirror so the next boot resumes it.
+		if d = rep.Durable(); d == nil {
+			if cerr := rep.Close(); cerr != nil && serr == nil {
+				serr = fmt.Errorf("serve: close replica: %w", cerr)
+			}
+		}
+	}
 	if d != nil {
 		// The final checkpoint: pairs ingested since the last rotation are
 		// folded into a fresh snapshot so the next boot replays nothing.
@@ -95,6 +129,42 @@ func cmdServe(args []string, out io.Writer) error {
 		}
 	}
 	return serr
+}
+
+// buildFollowerServer wires a read-only follower: a replica mirroring the
+// primary's WAL into dataDir (started on ctx — it stops with the serve
+// loop) and the HTTP handler reading from it. The follower serves APPROX
+// and EXACT statements from its own replicated model throughout, refuses
+// /train with a redirect to the primary, and becomes a writable primary on
+// POST /promote or, with promoteAfter, on its own once the primary has
+// been unreachable that long.
+func buildFollowerServer(ctx context.Context, dataPath, dataDir, primary, walSync string, snapEvery int, promoteAfter time.Duration, cell float64, opts ...serve.Option) (*serve.Server, *replica.Replica, string, error) {
+	e, ds, err := loadExecutor(dataPath, cell)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	mode, err := wal.ParseSyncMode(walSync)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	rep, err := replica.Open(replica.Options{
+		Dir:           dataDir,
+		Primary:       primary,
+		PromoteAfter:  promoteAfter,
+		WAL:           wal.Options{Mode: mode},
+		SnapshotEvery: snapEvery,
+	})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	s, err := serve.NewFollower(e, rep, opts...)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	go func() { _ = rep.Run(ctx) }()
+	info := fmt.Sprintf("%q (%d tuples, %d input attributes) as a follower of %s (mirror in %s, %s sync)",
+		ds.Name, ds.Len(), ds.Dim(), primary, dataDir, mode)
+	return s, rep, info, nil
 }
 
 // handlerSwitch is an atomically swappable http.Handler: the listener
@@ -118,13 +188,15 @@ func limitFlags(fs *flag.FlagSet) func() serve.Limits {
 	admitTrain := fs.Int("admit-train", 0, "admission capacity of the train class in pairs (default: 8192)")
 	admitWait := fs.Duration("admit-wait", 100*time.Millisecond, "how long a request may wait for admission before a 429 shed")
 	degradeExact := fs.Bool("degrade-exact", false, "during overload, answer EXACT-eligible statements from the model (marked \"degraded\": true) instead of shedding them")
+	maxLag := fs.Int("max-replication-lag", 0, "with -follow: records of replication lag past which /readyz reports not-ready (default 4096; negative disables)")
 	return func() serve.Limits {
 		l := serve.Limits{
-			QueryConcurrency: *admitQueries,
-			TrainConcurrency: *admitTrain,
-			AdmitWait:        *admitWait,
-			QueryTimeout:     *queryTimeout,
-			DegradeExact:     *degradeExact,
+			QueryConcurrency:  *admitQueries,
+			TrainConcurrency:  *admitTrain,
+			AdmitWait:         *admitWait,
+			QueryTimeout:      *queryTimeout,
+			DegradeExact:      *degradeExact,
+			MaxReplicationLag: *maxLag,
 		}
 		if *queryTimeout <= 0 {
 			l.QueryTimeout = -1 // Limits semantics: 0 means default, negative disables
@@ -218,10 +290,10 @@ func buildServer(dataPath, modelPath string, cell float64, cp capacity, opts ...
 // directory starts an empty model with the paper's default configuration
 // derived from the dataset (the same vigilance formula the train subcommand
 // uses, at its default resolution); a recovered one keeps the configuration
-// embedded in its snapshot. Capacity flags apply either way — and, on a
-// recovered model, force an immediate checkpoint, because SetCapacity is
-// not a WAL-logged event and replaying the tail under the old cap would
-// reconstruct a different model.
+// embedded in its snapshot. Capacity flags apply either way, through the
+// durable store's WAL-logged SetCapacity: the re-cap is an admin record in
+// the training order, so a crash replays it at exactly this point — and a
+// follower replica re-caps at the same point of the stream.
 func buildDurableServer(dataPath, dataDir, walSync string, snapEvery int, cell float64, cp capacity, opts ...serve.Option) (*serve.Server, *core.Durable, string, error) {
 	e, ds, err := loadExecutor(dataPath, cell)
 	if err != nil {
@@ -258,10 +330,11 @@ func buildDurableServer(dataPath, dataDir, walSync string, snapEvery int, cell f
 		return nil, nil, "", err
 	}
 	if cp.any() {
-		if err := applyCapacity(d.Model(), cp); err != nil {
+		max, policy, merge, err := resolveCapacity(d.Model().Config(), cp)
+		if err != nil {
 			return fail(err)
 		}
-		if err := d.Snapshot(); err != nil {
+		if err := d.SetCapacity(max, policy, merge); err != nil {
 			return fail(err)
 		}
 	}

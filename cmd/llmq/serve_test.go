@@ -164,3 +164,37 @@ func TestServeFlagValidation(t *testing.T) {
 		t.Error("unknown flag should error")
 	}
 }
+
+// writeTestCSV generates a small real dataset, so a flag combination that
+// wrongly passed validation would fail on its own merits, not on a missing
+// file.
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	data := filepath.Join(t.TempDir(), "r1.csv")
+	var out bytes.Buffer
+	if err := run([]string{"generate", "-dataset", "R1", "-n", "200", "-dim", "2", "-seed", "3", "-o", data}, &out); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestServeFollowFlagValidation: the replication flags have hard
+// prerequisites — a mirror directory, no local model, and no local capacity
+// overrides (those ship from the primary).
+func TestServeFollowFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	csv := writeTestCSV(t)
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"follow without data-dir", []string{"serve", "-data", csv, "-follow", "http://localhost:1"}},
+		{"follow with model", []string{"serve", "-data", csv, "-follow", "http://localhost:1", "-data-dir", t.TempDir(), "-model", "m.json"}},
+		{"follow with capacity flags", []string{"serve", "-data", csv, "-follow", "http://localhost:1", "-data-dir", t.TempDir(), "-max-prototypes", "8"}},
+		{"promote-after without follow", []string{"serve", "-data", csv, "-promote-after", "5s", "-data-dir", t.TempDir()}},
+	} {
+		if err := run(tc.args, &out); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -191,6 +191,7 @@ func TestRecoverDurableRoundTrip(t *testing.T) {
 		}
 	}
 	want := canonicalState(t, d.Model())
+	wantHash := mustStateHash(t, d.Model())
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -206,6 +207,9 @@ func TestRecoverDurableRoundTrip(t *testing.T) {
 	if got := canonicalState(t, d.Model()); got != want {
 		t.Fatal("recovered model differs from the model at Close")
 	}
+	if got := mustStateHash(t, d.Model()); got != wantHash {
+		t.Fatalf("recovered StateHash %s, want %s", got, wantHash)
+	}
 	ref, err := NewModel(durableConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -216,6 +220,19 @@ func TestRecoverDurableRoundTrip(t *testing.T) {
 	if got := canonicalState(t, ref); got != want {
 		t.Fatal("recovered model differs from a plain model fed the same pairs")
 	}
+	if got := mustStateHash(t, ref); got != wantHash {
+		t.Fatalf("reference StateHash %s, want %s", got, wantHash)
+	}
+}
+
+// mustStateHash wraps Model.StateHash for test assertions.
+func mustStateHash(t *testing.T, m *Model) string {
+	t.Helper()
+	h, err := m.StateHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
 }
 
 // TestRecoverTruncatesTornTail injects garbage at the tail of the live
@@ -299,6 +316,7 @@ func TestRecoverFallsBackToPreviousSnapshot(t *testing.T) {
 		}
 	}
 	want := canonicalState(t, d.Model())
+	wantHash := mustStateHash(t, d.Model())
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -323,6 +341,9 @@ func TestRecoverFallsBackToPreviousSnapshot(t *testing.T) {
 	defer d2.Close()
 	if got := canonicalState(t, d2.Model()); got != want {
 		t.Fatal("fallback recovery landed on a different model")
+	}
+	if got := mustStateHash(t, d2.Model()); got != wantHash {
+		t.Fatalf("fallback recovery StateHash %s, want %s", got, wantHash)
 	}
 	found := false
 	for _, l := range logs {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log"
@@ -72,10 +74,46 @@ type Durable struct {
 	m    *Model
 	opts DurableOptions
 
+	// bootID is a random token minted per Recover/Resume. Replication
+	// followers pin it: a change means the primary restarted — and may have
+	// truncated and rewritten log bytes the follower already consumed — so
+	// the follower must re-bootstrap rather than trust its cursor.
+	bootID string
+
 	mu        sync.Mutex // orders append-then-apply; excludes rotation
 	log       *wal.Log
 	sinceSnap int   // pairs appended since the last snapshot
 	failure   error // first WAL failure; non-nil flips the store read-only
+	hashes    map[uint64]BoundaryHash
+	hasSnap   bool // a snapshot for the current generation exists on disk
+}
+
+// BoundaryHash records the model's canonical state at one snapshot
+// boundary: entering generation Gen, after Steps training steps. Followers
+// compare it against their own state when they cross the same boundary.
+type BoundaryHash struct {
+	// Gen is the generation this state opens (the snapshot's generation).
+	Gen uint64 `json:"gen"`
+	// Steps is the model's training-step count at the boundary.
+	Steps int `json:"steps"`
+	// Hash is the canonical Model.StateHash at the boundary.
+	Hash string `json:"hash"`
+}
+
+// boundaryHashKeep bounds the retained boundary-hash history; rotation GC
+// keeps two generations of files, so a handful of hash entries is already
+// generous for any follower that can still catch up incrementally.
+const boundaryHashKeep = 16
+
+// newBootID mints the per-boot random token.
+func newBootID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a constant: replication then cannot distinguish
+		// restarts, but durability itself is unaffected.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Recover reconstructs the model from the data directory and opens it for
@@ -162,7 +200,44 @@ func Recover(dir string, cfg Config, opts DurableOptions) (*Durable, error) {
 	// the replay debt the next boot would pay again, so the next rotation —
 	// or a clean Close — folds them into a snapshot instead of letting a
 	// kill-restart cycle replay the same tail forever.
-	return &Durable{m: m, opts: opts, log: l, sinceSnap: replayed}, nil
+	d := &Durable{m: m, opts: opts, bootID: newBootID(), log: l, sinceSnap: replayed,
+		hashes: make(map[uint64]BoundaryHash)}
+	d.hasSnap = fileExists(wal.SnapshotPath(dir, l.Gen()))
+	if replayed == 0 && d.hasSnap && l.Gen() == baseGen {
+		// The model sits exactly at a snapshot boundary; record its hash so
+		// a follower bootstrapping from this snapshot can verify its copy.
+		d.recordBoundaryLocked(l.Gen())
+	}
+	return d, nil
+}
+
+// Resume wraps an already-recovered model over its data directory for
+// durable training, without replaying anything: the caller guarantees m is
+// exactly the state the directory's snapshot + full segment replay
+// produces, and that any torn tail is already truncated. sinceSnap is the
+// number of records the newest segment holds (the pending replay debt a
+// clean Close should fold into a snapshot). This is how a replication
+// follower — which mirrored the log bytes and applied them as they arrived
+// — seals its copy and becomes a writable primary on promotion.
+func Resume(m *Model, dir string, sinceSnap int, opts DurableOptions) (*Durable, error) {
+	opts = opts.withDefaults()
+	l, err := wal.Continue(dir, opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	d := &Durable{m: m, opts: opts, bootID: newBootID(), log: l, sinceSnap: sinceSnap,
+		hashes: make(map[uint64]BoundaryHash)}
+	d.hasSnap = fileExists(wal.SnapshotPath(dir, l.Gen()))
+	if sinceSnap == 0 && d.hasSnap {
+		d.recordBoundaryLocked(l.Gen())
+	}
+	return d, nil
+}
+
+// fileExists reports whether path exists (any stat failure counts as no).
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // loadSnapshotFile loads one snapshot from disk through the hardened Load.
@@ -179,40 +254,24 @@ func loadSnapshotFile(path string) (*Model, error) {
 // so replaying an arbitrarily long segment runs in constant memory.
 const replayChunk = 4096
 
-// replaySegment re-applies one WAL segment to the model through TrainBatch —
-// the same code path live training takes, which is what makes replay
-// reproduce the uncrashed model exactly. It returns the number of records
-// re-applied. A torn tail is truncated only on the newest segment; anywhere
-// else it fails recovery.
+// replaySegment re-applies one WAL segment to the model through the shared
+// ReplayApplier — the same code path live training takes, which is what
+// makes replay reproduce the uncrashed model exactly. It returns the number
+// of records re-applied. A torn tail is truncated only on the newest
+// segment; anywhere else it fails recovery.
 func replaySegment(m *Model, dir string, gen uint64, newest bool, logf func(string, ...any)) (int, error) {
 	path := wal.SegmentPath(dir, gen)
-	pairs := make([]TrainingPair, 0, replayChunk)
-	flush := func() error {
-		if len(pairs) == 0 {
-			return nil
-		}
-		_, err := m.TrainBatch(pairs)
-		pairs = pairs[:0]
-		return err
-	}
+	a := NewReplayApplier(m)
 	n, corrupt, err := wal.Replay(path, func(r wal.Record) error {
-		q, qerr := NewQuery(r.Center, r.Theta)
-		if qerr != nil {
-			return fmt.Errorf("core: recovery: %s holds an invalid query: %w", path, qerr)
-		}
-		if math.IsNaN(r.Answer) || math.IsInf(r.Answer, 0) {
-			return fmt.Errorf("core: recovery: %s holds a non-finite answer %v", path, r.Answer)
-		}
-		pairs = append(pairs, TrainingPair{Query: q, Answer: r.Answer})
-		if len(pairs) == replayChunk {
-			return flush()
+		if aerr := a.Apply(r); aerr != nil {
+			return fmt.Errorf("core: recovery: %s: %w", path, aerr)
 		}
 		return nil
 	})
 	if err != nil {
 		return 0, err
 	}
-	if err := flush(); err != nil {
+	if err := a.Flush(); err != nil {
 		return 0, err
 	}
 	if corrupt != nil {
@@ -340,6 +399,114 @@ func (d *Durable) rotateLocked() error {
 		return err
 	}
 	d.sinceSnap = 0
+	d.hasSnap = true
+	d.recordBoundaryLocked(d.log.Gen())
+	return nil
+}
+
+// recordBoundaryLocked stores the model's canonical hash for the boundary
+// opening gen, pruning the oldest entries past boundaryHashKeep. A hash
+// failure is logged, not fatal — the boundary check it feeds is an
+// opportunistic divergence detector, not a durability invariant.
+func (d *Durable) recordBoundaryLocked(gen uint64) {
+	h, err := d.m.StateHash()
+	if err != nil {
+		d.opts.Logf("core: boundary hash at generation %d failed: %v", gen, err)
+		return
+	}
+	d.hashes[gen] = BoundaryHash{Gen: gen, Steps: d.m.Steps(), Hash: h}
+	for len(d.hashes) > boundaryHashKeep {
+		oldest := gen
+		for g := range d.hashes {
+			if g < oldest {
+				oldest = g
+			}
+		}
+		delete(d.hashes, oldest)
+	}
+}
+
+// BoundaryHash returns the recorded canonical state hash for the boundary
+// opening gen, if this process recorded one (it records at every rotation
+// it performs, and at boot when it starts exactly on a boundary).
+func (d *Durable) BoundaryHash(gen uint64) (BoundaryHash, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.hashes[gen]
+	return h, ok
+}
+
+// StateHash returns the model's current step count and canonical state
+// hash, atomically with respect to durable training (no pair can land
+// between the two reads).
+func (d *Durable) StateHash() (steps int, hash string, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	hash, err = d.m.StateHash()
+	return d.m.Steps(), hash, err
+}
+
+// BootID returns the random token minted when this Durable opened the
+// directory. Replication followers pin it to detect primary restarts.
+func (d *Durable) BootID() string { return d.bootID }
+
+// Dir returns the data directory.
+func (d *Durable) Dir() string { return d.log.Dir() }
+
+// EnsureSnapshot guarantees a loadable snapshot exists for the current
+// generation — rotating once if the directory has never snapshotted — and
+// returns that generation. Replication bootstrap serves this snapshot; a
+// fresh directory would otherwise have nothing to bootstrap from.
+func (d *Durable) EnsureSnapshot() (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failure != nil {
+		return 0, fmt.Errorf("%w: %w", ErrReadOnly, d.failure)
+	}
+	if d.hasSnap {
+		return d.log.Gen(), nil
+	}
+	if err := d.rotateLocked(); err != nil {
+		return 0, d.failLocked(err)
+	}
+	return d.log.Gen(), nil
+}
+
+// SetCapacity durably changes the model's capacity bound at runtime: the
+// command is appended to the write-ahead log as an admin record — so
+// recovery and replication followers re-apply it at exactly this point in
+// the training order — and then applied to the model. A nil policy keeps
+// the current one. Policies other than the built-in WinDecay/Recency cannot
+// be encoded into the log and are rejected.
+func (d *Durable) SetCapacity(max int, policy EvictionPolicy, merge bool) error {
+	if max < 0 {
+		return fmt.Errorf("%w: MaxPrototypes must be non-negative, got %d", ErrBadConfig, max)
+	}
+	rec := wal.Record{Kind: wal.KindCapacity, MaxPrototypes: max, Merge: merge}
+	if policy != nil {
+		if _, err := ParseEvictionPolicy(policy.Name()); err != nil {
+			return fmt.Errorf("core: cannot WAL-log eviction policy %q: only built-in policies replay", policy.Name())
+		}
+		rec.Eviction = policy.Name()
+		if wd, ok := policy.(WinDecay); ok {
+			rec.EvictionHalfLife = wd.HalfLife
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failure != nil {
+		return fmt.Errorf("%w: %w", ErrReadOnly, d.failure)
+	}
+	if err := d.log.Append(rec); err != nil {
+		return d.failLocked(err)
+	}
+	if err := d.m.SetCapacity(max, policy, merge); err != nil {
+		return err
+	}
+	d.sinceSnap++
+	if err := d.maybeRotateLocked(); err != nil {
+		return d.failLocked(err)
+	}
 	return nil
 }
 

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"llmq/internal/vector"
 )
@@ -227,6 +230,58 @@ func (m *Model) Checkpoint(w io.Writer) error {
 	// The document owns deep copies of everything; encoding (and the I/O
 	// behind w) proceeds without stalling training.
 	return encodeDoc(w, doc)
+}
+
+// StateHash returns a SHA-256 hex digest of the model's canonical
+// serialized state — everything Checkpoint persists, including the solver
+// state and the eviction clock. It is canonical over slot numbering: the
+// prototype entries are hashed in sorted order of their serialized form, so
+// a model and its Checkpoint→Load round trip (which compacts tombstones and
+// permutes slots) hash identically. Two models with equal hashes are
+// behaviorally identical — same answers, same future under the same
+// training stream — which is what replication's divergence checks and the
+// crash harness's bit-identity assertions compare.
+func (m *Model) StateHash() (string, error) {
+	m.mu.Lock()
+	// Publish first so the document IS the current writer state, exactly as
+	// Checkpoint does.
+	m.publishLocked()
+	s := m.snap.Load()
+	cc := m.capCfg.Load()
+	doc := m.snapDoc(s, cc, m.quietSteps, func(slot int) *LLM {
+		if slot >= len(m.llms) {
+			return nil
+		}
+		return m.llms[slot]
+	})
+	m.mu.Unlock()
+	return canonicalHash(doc)
+}
+
+// canonicalHash digests a serialized document with the prototype entries in
+// a slot-order-independent canonical order.
+func canonicalHash(doc modelJSON) (string, error) {
+	llms := make([]string, len(doc.LLMs))
+	for i := range doc.LLMs {
+		b, err := json.Marshal(doc.LLMs[i])
+		if err != nil {
+			return "", fmt.Errorf("core: hash model: %w", err)
+		}
+		llms[i] = string(b)
+	}
+	sort.Strings(llms)
+	doc.LLMs = nil
+	head, err := json.Marshal(doc)
+	if err != nil {
+		return "", fmt.Errorf("core: hash model: %w", err)
+	}
+	h := sha256.New()
+	h.Write(head)
+	for _, e := range llms {
+		h.Write([]byte{'\n'})
+		h.Write([]byte(e))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // Load reads a model previously written by Save or Checkpoint. The loaded

@@ -67,6 +67,7 @@ import (
 
 	"llmq/internal/core"
 	"llmq/internal/exec"
+	"llmq/internal/replica"
 	"llmq/internal/resilience"
 	"llmq/internal/sqlfront"
 )
@@ -76,12 +77,38 @@ type Server struct {
 	exec    *exec.Executor
 	model   *core.Model
 	durable *core.Durable // non-nil when /train must WAL-log before applying
+	// replica is non-nil on a follower (NewFollower): the model and, after
+	// promotion, the durable store are read from it per request, because a
+	// re-bootstrap or a promotion swaps them at runtime.
+	replica *replica.Replica
 	mux     *http.ServeMux
 
 	limits     Limits
 	admitQuery *resilience.Semaphore
 	admitTrain *resilience.Semaphore
 	lastSat    atomic.Int64 // unixnano of the last observed queue saturation
+}
+
+// modelNow returns the model serving this request. On a primary it is
+// fixed; on a follower it changes across re-bootstraps and promotion, so
+// handlers must not cache it beyond one request.
+func (s *Server) modelNow() *core.Model {
+	if s.replica != nil {
+		if d := s.replica.Durable(); d != nil {
+			return d.Model()
+		}
+		return s.replica.Model()
+	}
+	return s.model
+}
+
+// durableNow returns the durable store accepting writes, or nil — always
+// nil on a follower until it is promoted.
+func (s *Server) durableNow() *core.Durable {
+	if s.replica != nil {
+		return s.replica.Durable()
+	}
+	return s.durable
 }
 
 const (
@@ -123,6 +150,11 @@ type Limits struct {
 	// queue saturation, so the EXACT path does not flap at the boundary.
 	// Default 1s.
 	BrownoutHold time.Duration
+	// MaxReplicationLag is the replication lag, in training records, past
+	// which a follower reports not-ready on /readyz (it still serves
+	// queries — the flag exists so an orchestrator can route staleness-
+	// sensitive traffic away). Default 4096; negative disables the check.
+	MaxReplicationLag int
 }
 
 // DefaultLimits returns the limits a Server runs with when none are given.
@@ -152,6 +184,12 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.BrownoutHold <= 0 {
 		l.BrownoutHold = time.Second
+	}
+	switch {
+	case l.MaxReplicationLag == 0:
+		l.MaxReplicationLag = 4096
+	case l.MaxReplicationLag < 0:
+		l.MaxReplicationLag = math.MaxInt
 	}
 	return l
 }
@@ -186,6 +224,10 @@ func New(e *exec.Executor, m *core.Model, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
+	s.mux.HandleFunc(replica.PathSnapshot, s.handleReplicateSnapshot)
+	s.mux.HandleFunc(replica.PathWAL, s.handleReplicateWAL)
+	s.mux.HandleFunc(replica.PathHash, s.handleReplicateHash)
+	s.mux.HandleFunc(replica.PathPromote, s.handlePromote)
 	return s, nil
 }
 
@@ -211,6 +253,26 @@ func NewDurable(e *exec.Executor, d *core.Durable, opts ...Option) (*Server, err
 		return nil, err
 	}
 	s.durable = d
+	return s, nil
+}
+
+// NewFollower creates a server backed by a replica of a remote primary:
+// queries answer from the follower's own model (which the replication loop
+// trains as WAL records arrive), /train is refused with 421 naming the
+// primary, /readyz reports the replication role and lag, and POST /promote
+// turns the instance into a writable primary in place. The caller drives
+// the replica's Run loop; the server only reads it. The model's
+// dimensionality cannot be validated up front (it arrives with the first
+// snapshot), so a mismatched follower surfaces errors per statement.
+func NewFollower(e *exec.Executor, rep *replica.Replica, opts ...Option) (*Server, error) {
+	if rep == nil {
+		return nil, errors.New("serve: replica is required")
+	}
+	s, err := New(e, nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.replica = rep
 	return s, nil
 }
 
@@ -312,11 +374,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 type ReadyResponse struct {
 	// Status is "ready", "overloaded" (admission queue saturated),
 	// "read-only" (the durable store took a WAL failure and stopped
-	// accepting training) or "recovering" (boot-time WAL replay still
-	// running, served by the recovering stub handler).
+	// accepting training), "recovering" (boot-time WAL replay still
+	// running, served by the recovering stub handler), or — on a follower —
+	// "bootstrapping" (no model yet), "lagging" (replication lag past
+	// Limits.MaxReplicationLag) or "diverged" (state hash mismatched the
+	// primary's; the follower is re-bootstrapping and must not be promoted).
 	Status string `json:"status"`
-	// Cause names the root failure for the read-only state.
+	// Cause names the root failure for the read-only and diverged states.
 	Cause string `json:"cause,omitempty"`
+	// Role is "primary", "follower" or "promoting".
+	Role string `json:"role,omitempty"`
+	// ReplicationLag is the follower's lag behind the primary in training
+	// records (primary steps at last contact minus local steps).
+	ReplicationLag *int `json:"replication_lag_records,omitempty"`
 }
 
 // handleReady is the readiness probe: distinct from /healthz liveness so an
@@ -327,17 +397,43 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	if s.durable != nil {
-		if cause := s.durable.Failure(); cause != nil {
-			writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "read-only", Cause: cause.Error()})
+	resp := ReadyResponse{Role: "primary"}
+	if s.replica != nil {
+		st := s.replica.Status()
+		resp.Role = st.Role
+		if st.Role != "primary" {
+			lag := st.Lag
+			resp.ReplicationLag = &lag
+			switch {
+			case st.Diverged != nil:
+				resp.Status, resp.Cause = "diverged", st.Diverged.Error()
+				writeJSON(w, http.StatusServiceUnavailable, resp)
+				return
+			case !st.Bootstrapped:
+				resp.Status = "bootstrapping"
+				writeJSON(w, http.StatusServiceUnavailable, resp)
+				return
+			case lag > s.limits.MaxReplicationLag:
+				resp.Status = "lagging"
+				writeJSON(w, http.StatusServiceUnavailable, resp)
+				return
+			}
+		}
+	}
+	if d := s.durableNow(); d != nil {
+		if cause := d.Failure(); cause != nil {
+			resp.Status, resp.Cause = "read-only", cause.Error()
+			writeJSON(w, http.StatusServiceUnavailable, resp)
 			return
 		}
 	}
 	if s.brownout() {
-		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "overloaded"})
+		resp.Status = "overloaded"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready"})
+	resp.Status = "ready"
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // Recovering returns the stub handler a listener serves while boot-time
@@ -379,11 +475,11 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info := ModelInfo{}
-	if s.model != nil {
+	if m := s.modelNow(); m != nil {
 		// One pinned View, so K/Steps/Converged describe the same version
 		// even while training publishes concurrently.
-		v := s.model.View()
-		cfg := s.model.Config()
+		v := m.View()
+		cfg := m.Config()
 		info = ModelInfo{
 			Loaded:     true,
 			Prototypes: v.K(),
@@ -391,7 +487,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 			Converged:  v.Converged(),
 			Vigilance:  cfg.Vigilance,
 			Dim:        cfg.Dim,
-			Durable:    s.durable != nil,
+			Durable:    s.durableNow() != nil,
 		}
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -412,10 +508,10 @@ type modelReader interface {
 // has no model (parseStatement rejects APPROX statements in that case, and
 // exact statements never touch it).
 func (s *Server) reader() modelReader {
-	if s.model == nil {
-		return nil
+	if m := s.modelNow(); m != nil {
+		return m
 	}
-	return s.model
+	return nil
 }
 
 // degradable reports whether a statement that asked for EXACT execution
@@ -423,7 +519,8 @@ func (s *Server) reader() modelReader {
 // APPROX twin, so the only requirement is a trained model of the right
 // dimensionality (parseStatement already validated the dimensions).
 func (s *Server) degradable() bool {
-	return s.limits.DegradeExact && s.model != nil && s.model.K() > 0
+	m := s.modelNow()
+	return s.limits.DegradeExact && m != nil && m.K() > 0
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -511,7 +608,7 @@ func (s *Server) parseStatement(sql string) (*sqlfront.Statement, int, error) {
 			fmt.Errorf("query centre has %d coordinates, relation has %d input attributes",
 				len(stmt.Center), len(s.exec.InputNames()))
 	}
-	if stmt.Approx && (s.model == nil || s.model.K() == 0) {
+	if m := s.modelNow(); stmt.Approx && (m == nil || m.K() == 0) {
 		return nil, http.StatusConflict, errors.New("no trained model loaded for APPROX statements")
 	}
 	return stmt, http.StatusOK, nil
@@ -555,12 +652,21 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
-	if s.model == nil {
+	model, durable := s.modelNow(), s.durableNow()
+	if s.replica != nil && durable == nil {
+		// A follower's state is defined as "exactly what the primary
+		// shipped"; local writes would silently fork it. 421 tells the
+		// client it talked to the wrong instance, and where the right one is.
+		writeError(w, http.StatusMisdirectedRequest,
+			fmt.Errorf("this instance is a read-only follower; POST /train to the primary at %s", s.replica.Primary()))
+		return
+	}
+	if model == nil {
 		writeError(w, http.StatusConflict, errors.New("no model loaded to train"))
 		return
 	}
-	if s.durable != nil {
-		if cause := s.durable.Failure(); cause != nil {
+	if durable != nil {
+		if cause := durable.Failure(); cause != nil {
 			// Fail fast before decoding: the store cannot take the pairs.
 			writeError(w, http.StatusServiceUnavailable,
 				fmt.Errorf("store is read-only after a WAL failure: %v", cause))
@@ -602,15 +708,15 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.admitTrain.Release(weight)
 	start := time.Now()
-	before := s.model.Steps()
+	before := model.Steps()
 	var (
 		res core.TrainingResult
 		err error
 	)
-	if s.durable != nil {
-		res, err = s.durable.TrainBatch(pairs)
+	if durable != nil {
+		res, err = durable.TrainBatch(pairs)
 	} else {
-		res, err = s.model.TrainBatch(pairs)
+		res, err = model.TrainBatch(pairs)
 	}
 	if err != nil {
 		if errors.Is(err, core.ErrReadOnly) {
@@ -625,7 +731,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		Steps:      res.Steps,
 		Prototypes: res.K,
 		Converged:  res.Converged,
-		Durable:    s.durable != nil,
+		Durable:    durable != nil,
 		Elapsed:    time.Since(start).String(),
 	})
 }
@@ -700,8 +806,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// consistent even while a training stream or a zero-downtime model swap
 	// publishes newer versions mid-request.
 	var reader modelReader
-	if s.model != nil {
-		reader = s.model.View()
+	if m := s.modelNow(); m != nil {
+		reader = m.View()
 	}
 	items := make([]BatchItem, len(req.SQL))
 	// The request context cancels when the client disconnects, the server

@@ -2,13 +2,11 @@ package crashtest
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"os/exec"
 	"path/filepath"
-	"sort"
 	"strconv"
 	"testing"
 	"time"
@@ -59,37 +57,19 @@ func genPairs(seed int64, n int) []core.TrainingPair {
 	return pairs
 }
 
-// canonicalCheckpoint serializes a model's full training state (Checkpoint,
-// so the RLS solver matrices ride along) in a slot-order-independent form:
-// recovery compacts tombstoned slots away, so the recovered and uncrashed
-// models hold the same prototypes under permuted slot ids, and a byte-level
-// file comparison would false-alarm on the permutation.
-func canonicalCheckpoint(t *testing.T, m *core.Model) string {
+// stateHash wraps core.Model.StateHash — the canonical slot-order-
+// independent digest of the full training state (RLS solver matrices
+// included) — for the bit-identity assertions: recovery compacts tombstoned
+// slots away, so the recovered and uncrashed models hold the same
+// prototypes under permuted slot ids, and a byte-level file comparison
+// would false-alarm on the permutation.
+func stateHash(t *testing.T, m *core.Model) string {
 	t.Helper()
-	var buf bytes.Buffer
-	if err := m.Checkpoint(&buf); err != nil {
-		t.Fatalf("checkpoint: %v", err)
-	}
-	var doc map[string]any
-	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
-		t.Fatalf("parse checkpoint: %v", err)
-	}
-	llms, _ := doc["llms"].([]any)
-	enc := make([]string, len(llms))
-	for i, l := range llms {
-		b, err := json.Marshal(l)
-		if err != nil {
-			t.Fatalf("marshal llm: %v", err)
-		}
-		enc[i] = string(b)
-	}
-	sort.Strings(enc)
-	doc["llms"] = enc
-	out, err := json.Marshal(doc)
+	h, err := m.StateHash()
 	if err != nil {
-		t.Fatalf("marshal canonical doc: %v", err)
+		t.Fatalf("state hash: %v", err)
 	}
-	return string(out)
+	return h
 }
 
 // TestCrashChild is the child trainer the harness SIGKILLs; it only runs
@@ -175,7 +155,7 @@ func verifyPrefix(t *testing.T, dir string, pairs []core.TrainingPair, merge boo
 	if m > len(pairs) {
 		t.Fatalf("recovered %d steps from a %d-pair stream", m, len(pairs))
 	}
-	got := canonicalCheckpoint(t, d.Model())
+	got := stateHash(t, d.Model())
 	if err := d.Close(); err != nil {
 		t.Fatalf("verify close: %v", err)
 	}
@@ -186,8 +166,8 @@ func verifyPrefix(t *testing.T, dir string, pairs []core.TrainingPair, merge boo
 	if _, err := ref.TrainBatch(pairs[:m]); err != nil {
 		t.Fatalf("reference train: %v", err)
 	}
-	if want := canonicalCheckpoint(t, ref); got != want {
-		t.Fatalf("recovered model diverges from the clean run after %d pairs:\n got %s\nwant %s", m, got, want)
+	if want := stateHash(t, ref); got != want {
+		t.Fatalf("recovered model diverges from the clean run after %d pairs: hash %s, want %s", m, got, want)
 	}
 	return m
 }

@@ -47,8 +47,12 @@ type Manifest struct {
 }
 
 // List scans a data directory (creating it if absent) and returns its
-// manifest. Leftover temporary files from an interrupted snapshot write are
-// deleted — they were never published and must not shadow a real file.
+// manifest. Temporary files from snapshot writes are skipped, never touched
+// — List must be safe concurrently with a rotation in flight (the
+// replication shipper's TailRead polls it against a live directory), so a
+// temp file it sees may be a rotation's about-to-be-renamed snapshot, not
+// crash litter. Boot paths that own the directory exclusively call
+// RemoveTemp for the cleanup.
 func List(dir string) (Manifest, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return Manifest{}, fmt.Errorf("wal: create data dir: %w", err)
@@ -61,7 +65,6 @@ func List(dir string) (Manifest, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if filepath.Ext(name) == tmpSuffix {
-			_ = os.Remove(filepath.Join(dir, name))
 			continue
 		}
 		var gen uint64
@@ -74,6 +77,29 @@ func List(dir string) (Manifest, error) {
 	sort.Slice(m.Snapshots, func(i, j int) bool { return m.Snapshots[i] < m.Snapshots[j] })
 	sort.Slice(m.Segments, func(i, j int) bool { return m.Segments[i] < m.Segments[j] })
 	return m, nil
+}
+
+// RemoveTemp deletes leftover temporary files from snapshot writes a crash
+// interrupted — they were never published, so they are garbage. Only a
+// caller that owns the directory exclusively (a boot path, before any
+// writer or replication shipper runs) may call it: under a live Log, a
+// temp file may belong to a rotation in flight.
+func RemoveTemp(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("wal: read data dir: %w", err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == tmpSuffix {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("wal: remove temp file: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // WriteFileAtomic writes a file so that a crash at any point leaves either
@@ -190,6 +216,11 @@ type Log struct {
 func Continue(dir string, opts Options) (*Log, error) {
 	m, err := List(dir)
 	if err != nil {
+		return nil, err
+	}
+	// Boot owns the directory exclusively, so interrupted-write litter is
+	// safe to clear here — and must not be cleared anywhere less exclusive.
+	if err := RemoveTemp(dir); err != nil {
 		return nil, err
 	}
 	var gen uint64

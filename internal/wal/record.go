@@ -18,9 +18,10 @@
 //	uint32 little-endian CRC-32C (Castagnoli) of the payload
 //	payload
 //
-// with the payload encoding one training pair (a kind byte for forward
-// compatibility, the dimensionality as a uvarint, then the centre
-// coordinates, radius and answer as raw IEEE-754 bits). The frame makes the
+// with the payload carrying a kind byte followed by the kind's body: a
+// training pair (dimensionality as a uvarint, then the centre coordinates,
+// radius and answer as raw IEEE-754 bits) or an admin record such as a
+// runtime capacity change. The frame makes the
 // expected crash artifact — a torn write at the tail — detectable: a read
 // that runs out of bytes mid-record, or whose checksum does not match, stops
 // the scan at the last intact record boundary instead of propagating garbage
@@ -36,22 +37,56 @@ import (
 	"math"
 )
 
-// Record is one logged training pair: the query centre x, the query radius
-// θ and the observed answer y. Records are value-complete — replaying them
-// in order through the trainer reproduces the training run.
+// Record is one logged event. Most records are training pairs (the query
+// centre x, the query radius θ and the observed answer y); KindCapacity
+// records log runtime re-capacity commands so that replay — recovery or a
+// replication follower — re-applies them at exactly the same point in the
+// training order. Records are value-complete: replaying them in order
+// through the trainer reproduces the training run.
 type Record struct {
-	// Center is the query centre x ∈ R^d.
+	// Kind tags the payload. The zero value encodes as KindPair so existing
+	// pair-constructing call sites stay valid.
+	Kind Kind
+
+	// Center is the query centre x ∈ R^d (KindPair).
 	Center []float64
-	// Theta is the query radius θ.
+	// Theta is the query radius θ (KindPair).
 	Theta float64
-	// Answer is the observed query answer y.
+	// Answer is the observed query answer y (KindPair).
 	Answer float64
+
+	// MaxPrototypes is the new capacity bound (KindCapacity); 0 disables
+	// the bound.
+	MaxPrototypes int
+	// Eviction names the eviction policy (KindCapacity); empty keeps the
+	// model's current policy.
+	Eviction string
+	// EvictionHalfLife is the win-decay half-life in steps (KindCapacity);
+	// 0 lets the applier derive it from the capacity.
+	EvictionHalfLife int
+	// Merge is the merge-on-evict setting (KindCapacity).
+	Merge bool
 }
 
-// recordKindPair tags a training-pair payload; other kinds are reserved so
-// the format can grow without breaking old readers (which reject unknown
-// kinds as corruption, the safe failure for a durability log).
-const recordKindPair = 1
+// Kind discriminates record payloads. Unknown kinds are rejected as
+// corruption — the safe failure for a durability log.
+type Kind byte
+
+const (
+	// KindPair is a training pair; it is the zero Record's effective kind.
+	KindPair Kind = 1
+	// KindCapacity is a runtime SetCapacity command.
+	KindCapacity Kind = 2
+)
+
+// effective maps the zero value to KindPair so Record{Center: ...} literals
+// written before kinds existed still encode as pairs.
+func (k Kind) effective() Kind {
+	if k == 0 {
+		return KindPair
+	}
+	return k
+}
 
 // maxRecordLen bounds a single record payload. Training pairs are tiny (a
 // few hundred bytes even at high dimensionality); a length prefix beyond
@@ -94,13 +129,26 @@ func (e *CorruptError) Unwrap() error { return ErrCorruptRecord }
 func appendRecord(dst []byte, r Record) []byte {
 	payload := len(dst) + frameHeaderLen
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header, patched below
-	dst = append(dst, recordKindPair)
-	dst = binary.AppendUvarint(dst, uint64(len(r.Center)))
-	for _, v := range r.Center {
-		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	switch r.Kind.effective() {
+	case KindCapacity:
+		dst = append(dst, byte(KindCapacity))
+		dst = binary.AppendUvarint(dst, uint64(r.MaxPrototypes))
+		dst = binary.AppendUvarint(dst, uint64(r.EvictionHalfLife))
+		if r.Merge {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = append(dst, r.Eviction...)
+	default:
+		dst = append(dst, byte(KindPair))
+		dst = binary.AppendUvarint(dst, uint64(len(r.Center)))
+		for _, v := range r.Center {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Theta))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Answer))
 	}
-	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Theta))
-	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Answer))
 	binary.LittleEndian.PutUint32(dst[payload-frameHeaderLen:], uint32(len(dst)-payload))
 	binary.LittleEndian.PutUint32(dst[payload-4:], crc32.Checksum(dst[payload:], castagnoli))
 	return dst
@@ -109,6 +157,10 @@ func appendRecord(dst []byte, r Record) []byte {
 // EncodedLen returns the on-disk size of the record: frame header plus
 // payload.
 func (r Record) EncodedLen() int {
+	if r.Kind.effective() == KindCapacity {
+		return frameHeaderLen + 1 + uvarintLen(uint64(r.MaxPrototypes)) +
+			uvarintLen(uint64(r.EvictionHalfLife)) + 1 + len(r.Eviction)
+	}
 	return frameHeaderLen + 1 + uvarintLen(uint64(len(r.Center))) + 8*(len(r.Center)+2)
 }
 
@@ -129,7 +181,11 @@ func decodePayload(p []byte) (Record, error) {
 	if len(p) == 0 {
 		return Record{}, errors.New("empty payload")
 	}
-	if p[0] != recordKindPair {
+	switch Kind(p[0]) {
+	case KindPair:
+	case KindCapacity:
+		return decodeCapacity(p[1:])
+	default:
 		return Record{}, fmt.Errorf("unknown record kind %d", p[0])
 	}
 	p = p[1:]
@@ -145,12 +201,44 @@ func decodePayload(p []byte) (Record, error) {
 	if len(p) != want {
 		return Record{}, fmt.Errorf("payload body is %d bytes, want %d for dim %d", len(p), want, dim)
 	}
-	r := Record{Center: make([]float64, dim)}
+	r := Record{Kind: KindPair, Center: make([]float64, dim)}
 	for i := range r.Center {
 		r.Center[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
 	}
 	r.Theta = math.Float64frombits(binary.LittleEndian.Uint64(p[8*dim:]))
 	r.Answer = math.Float64frombits(binary.LittleEndian.Uint64(p[8*dim+8:]))
+	return r, nil
+}
+
+// decodeCapacity parses a KindCapacity payload body (the bytes after the
+// kind byte). The trailing bytes, if any, are the policy name.
+func decodeCapacity(p []byte) (Record, error) {
+	r := Record{Kind: KindCapacity}
+	max, n := binary.Uvarint(p)
+	if n <= 0 {
+		return Record{}, errors.New("bad capacity varint")
+	}
+	p = p[n:]
+	half, n := binary.Uvarint(p)
+	if n <= 0 {
+		return Record{}, errors.New("bad half-life varint")
+	}
+	p = p[n:]
+	if len(p) == 0 {
+		return Record{}, errors.New("capacity record missing merge byte")
+	}
+	if p[0] > 1 {
+		return Record{}, fmt.Errorf("bad merge byte %d", p[0])
+	}
+	// Capacities live in memory as ints; a value that does not round-trip is
+	// corruption, not a configuration.
+	if max > uint64(maxRecordLen) || half > uint64(maxRecordLen)*8 {
+		return Record{}, fmt.Errorf("implausible capacity %d / half-life %d", max, half)
+	}
+	r.MaxPrototypes = int(max)
+	r.EvictionHalfLife = int(half)
+	r.Merge = p[0] == 1
+	r.Eviction = string(p[1:])
 	return r, nil
 }
 

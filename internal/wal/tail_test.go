@@ -1,0 +1,263 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+func TestCapacityRecordRoundTrip(t *testing.T) {
+	records := []Record{
+		{Kind: KindCapacity, MaxPrototypes: 128, Eviction: "windecay", EvictionHalfLife: 512, Merge: true},
+		{Kind: KindCapacity, MaxPrototypes: 0, Eviction: "", EvictionHalfLife: 0, Merge: false},
+		{Kind: KindCapacity, MaxPrototypes: 7, Eviction: "recency"},
+	}
+	buf := encodeSegment(t, records...)
+	sc := NewScanner(bytes.NewReader(buf))
+	for i, want := range records {
+		if !sc.Next() {
+			t.Fatalf("scan stopped at record %d: %v", i, sc.Err())
+		}
+		got := sc.Record()
+		if got.Kind != KindCapacity || got.MaxPrototypes != want.MaxPrototypes ||
+			got.Eviction != want.Eviction || got.EvictionHalfLife != want.EvictionHalfLife ||
+			got.Merge != want.Merge {
+			t.Fatalf("record %d round-tripped to %+v, want %+v", i, got, want)
+		}
+	}
+	if sc.Next() || sc.Err() != nil {
+		t.Fatalf("stream should end cleanly: %v", sc.Err())
+	}
+}
+
+func TestCapacityRecordMixedStream(t *testing.T) {
+	records := []Record{
+		testRecord(0),
+		{Kind: KindCapacity, MaxPrototypes: 16, Eviction: "windecay", Merge: true},
+		testRecord(1),
+	}
+	buf := encodeSegment(t, records...)
+	sc := NewScanner(bytes.NewReader(buf))
+	var kinds []Kind
+	for sc.Next() {
+		kinds = append(kinds, sc.Record().Kind)
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if len(kinds) != 3 || kinds[0] != KindPair || kinds[1] != KindCapacity || kinds[2] != KindPair {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+// decodeChunk scans a TailChunk's bytes back into records, failing the test
+// on any framing error — shipped chunks must contain only complete records.
+func decodeChunk(t *testing.T, data []byte) []Record {
+	t.Helper()
+	sc := NewScanner(bytes.NewReader(data))
+	var out []Record
+	for sc.Next() {
+		out = append(out, sc.Record())
+	}
+	if sc.Err() != nil {
+		t.Fatalf("chunk does not scan cleanly: %v", sc.Err())
+	}
+	if sc.ValidSize() != int64(len(data)) {
+		t.Fatalf("chunk has %d trailing unscanned bytes", int64(len(data))-sc.ValidSize())
+	}
+	return out
+}
+
+// TestTailReadResume is the Scanner resume contract: a reader that stopped
+// at ValidSize mid-write sees exactly the records it has not yet seen —
+// across an in-progress torn tail and across a rotation boundary.
+func TestTailReadResume(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Continue(dir, Options{Mode: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	appendN := func(from, to int) {
+		t.Helper()
+		for i := from; i < to; i++ {
+			if err := l.Append(testRecord(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	appendN(0, 5)
+	cur := Cursor{}
+	ch, err := TailRead(dir, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeChunk(t, ch.Data)
+	if len(got) != 5 {
+		t.Fatalf("first read yielded %d records, want 5", len(got))
+	}
+	for i, r := range got {
+		if !recordsEqual(r, testRecord(i)) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	cur = ch.Next
+
+	// Nothing new: the cursor must not move.
+	ch, err = TailRead(dir, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Data) != 0 || ch.Next != cur {
+		t.Fatalf("idle read returned %d bytes, next %v (cursor %v)", len(ch.Data), ch.Next, cur)
+	}
+
+	// Simulate a torn in-progress append: a record whose tail has not hit
+	// the file yet. The reader must ship only the records before it.
+	appendN(5, 7)
+	full := encodeSegment(t, testRecord(7))
+	seg := SegmentPath(dir, 0)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[:len(full)-3]); err != nil {
+		t.Fatal(err)
+	}
+	ch, err = TailRead(dir, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = decodeChunk(t, ch.Data)
+	if len(got) != 2 || !recordsEqual(got[0], testRecord(5)) || !recordsEqual(got[1], testRecord(6)) {
+		t.Fatalf("torn-tail read yielded %d records: %+v", len(got), got)
+	}
+	cur = ch.Next
+
+	// The torn record is invisible until its last bytes land.
+	ch, err = TailRead(dir, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Data) != 0 || ch.Next != cur {
+		t.Fatalf("read past torn tail returned %d bytes", len(ch.Data))
+	}
+	if _, err := f.Write(full[len(full)-3:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ch, err = TailRead(dir, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = decodeChunk(t, ch.Data)
+	if len(got) != 1 || !recordsEqual(got[0], testRecord(7)) {
+		t.Fatalf("completed record read yielded %+v", got)
+	}
+	cur = ch.Next
+
+	// Rotation boundary: the sealed segment hands the reader a bare
+	// generation bump, then records appended after the rotation flow from
+	// the new segment.
+	if err := l.Rotate(func(w io.Writer) error { _, err := w.Write([]byte("{}")); return err }); err != nil {
+		t.Fatal(err)
+	}
+	appendN(8, 10)
+	ch, err = TailRead(dir, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Data) != 0 || ch.Next != (Cursor{Gen: 1}) {
+		t.Fatalf("sealed segment read = %d bytes, next %v, want bare bump to gen 1", len(ch.Data), ch.Next)
+	}
+	cur = ch.Next
+	ch, err = TailRead(dir, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = decodeChunk(t, ch.Data)
+	if len(got) != 2 || !recordsEqual(got[0], testRecord(8)) || !recordsEqual(got[1], testRecord(9)) {
+		t.Fatalf("post-rotation read yielded %+v", got)
+	}
+}
+
+// TestTailReadChunkBudget: a small byte budget splits the stream without
+// ever splitting a record.
+func TestTailReadChunkBudget(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Continue(dir, Options{Mode: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Budget of ~1.5 records: every read must make progress in whole
+	// records.
+	budget := testRecord(0).EncodedLen() * 3 / 2
+	var all []Record
+	cur := Cursor{}
+	for len(all) < n {
+		ch, err := TailRead(dir, cur, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := decodeChunk(t, ch.Data)
+		if len(recs) == 0 {
+			t.Fatalf("no progress at %v with %d records to go", cur, n-len(all))
+		}
+		all = append(all, recs...)
+		cur = ch.Next
+	}
+	for i, r := range all {
+		if !recordsEqual(r, testRecord(i)) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+func TestTailReadCursorGone(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Continue(dir, Options{Mode: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := func(w io.Writer) error { _, err := w.Write([]byte("{}")); return err }
+	// Two rotations GC generation 0.
+	if err := l.Rotate(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TailRead(dir, Cursor{Gen: 0}, 0); !errors.Is(err, ErrCursorGone) {
+		t.Fatalf("GCed generation error = %v, want ErrCursorGone", err)
+	}
+	// An offset past the segment's size means the writer truncated a torn
+	// tail behind the reader.
+	if _, err := TailRead(dir, Cursor{Gen: 2, Off: 1 << 20}, 0); !errors.Is(err, ErrCursorGone) {
+		t.Fatalf("past-end offset error = %v, want ErrCursorGone", err)
+	}
+}

@@ -174,7 +174,13 @@ func TestWriteFileAtomic(t *testing.T) {
 	}
 }
 
-func TestListCleansTempFiles(t *testing.T) {
+// TestListIgnoresTempFilesRemoveTempCleans pins the division of labor: List
+// must leave temp files alone (it runs concurrently with live rotations —
+// the replication shipper polls it, and deleting a rotation's in-flight
+// temp file would fail the snapshot rename and flip the primary
+// read-only), while RemoveTemp, called only from exclusive boot paths,
+// clears the crash litter.
+func TestListIgnoresTempFilesRemoveTempCleans(t *testing.T) {
 	dir := t.TempDir()
 	stray := filepath.Join(dir, "snap-000001.json.123.tmp")
 	if err := os.WriteFile(stray, []byte("x"), 0o644); err != nil {
@@ -190,8 +196,17 @@ func TestListCleansTempFiles(t *testing.T) {
 	if len(m.Snapshots) != 1 || m.Snapshots[0] != 1 {
 		t.Fatalf("manifest %+v, want snapshot generation 1 only", m)
 	}
+	if _, err := os.Stat(stray); err != nil {
+		t.Fatal("List must not touch temp files; a live rotation may own them")
+	}
+	if err := RemoveTemp(dir); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
-		t.Fatal("stray temp file survived List")
+		t.Fatal("stray temp file survived RemoveTemp")
+	}
+	if _, err := os.Stat(SnapshotPath(dir, 1)); err != nil {
+		t.Fatal("RemoveTemp deleted a published snapshot")
 	}
 }
 

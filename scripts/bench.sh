@@ -136,6 +136,14 @@ go test -run '^$' -bench 'BenchmarkPredictBatch|BenchmarkServeThroughput' \
 # where ns/op is the admitted service time.
 go test -run '^$' -bench 'BenchmarkServeOverload' \
     -benchtime "${SERVE_BENCHTIME:-100x}" . >>"$tmp"
+# Replication: ns/op of the lag benchmark is the per-pair ship+apply cost
+# through the WAL long-poll (train on the primary → chunk over HTTP → mirror
+# append → live apply on the follower); the bootstrap benchmark is the cold
+# follower start (snapshot fetch + load + catch-up) at two primary sizes.
+go test -run '^$' -bench 'BenchmarkReplicationLag' \
+    -benchtime "${REPL_BENCHTIME:-2000x}" ./internal/replica/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkReplicationBootstrap' \
+    -benchtime "${BOOTSTRAP_BENCHTIME:-20x}" ./internal/replica/ >>"$tmp"
 
 
 awk -v gmp="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" \
