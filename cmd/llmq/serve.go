@@ -8,8 +8,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"llmq/internal/replica"
 	"llmq/internal/resilience"
 	"llmq/internal/serve"
+	"llmq/internal/shard"
 	"llmq/internal/wal"
 )
 
@@ -42,6 +45,10 @@ func cmdServe(args []string, out io.Writer) error {
 	snapEvery := fs.Int("snapshot-every", 4096, "training pairs between WAL snapshot rotations under -data-dir")
 	follow := fs.String("follow", "", "replicate a primary `llmq serve` instance at this base URL into -data-dir and serve read-only from it (POST /promote, or -promote-after, turns this instance into the primary)")
 	promoteAfter := fs.Duration("promote-after", 0, "with -follow: auto-promote to primary after this long without primary contact; 0 requires an explicit POST /promote")
+	shards := fs.Int("shards", 0, "partition the query space across this many in-process model shards (/train fans out across their writer locks; with -data-dir each shard keeps its own WAL subdirectory)")
+	route := fs.String("route", "", "router mode: front remote shard servers, `shard0=URL[|followerURL...],shard1=...` (scans spread across a shard's followers; training goes to its primary)")
+	partitionPath := fs.String("partition", "", "with -route: shards.json manifest pinning the partition the shards were trained under (default: rebuild it from -data, sound when this router is the sole trainer)")
+	pprofAddr := fs.String("pprof", "", "also serve net/http/pprof profiling endpoints on this host:port (side listener, never on the public address)")
 	getCap := capacityFlags(fs)
 	getLimits := limitFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -77,6 +84,18 @@ func cmdServe(args []string, out io.Writer) error {
 	if *promoteAfter != 0 && *follow == "" {
 		return errors.New("serve: -promote-after needs -follow")
 	}
+	if *shards < 0 {
+		return errors.New("serve: -shards must be positive")
+	}
+	if *shards > 0 && (*route != "" || *follow != "") {
+		return errors.New("serve: -shards is exclusive with -route and -follow")
+	}
+	if *route != "" && (*modelPath != "" || *dataDir != "" || *follow != "") {
+		return errors.New("serve: -route is exclusive with -model, -data-dir and -follow (the shards own the models)")
+	}
+	if *partitionPath != "" && *route == "" {
+		return errors.New("serve: -partition needs -route")
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
@@ -91,16 +110,25 @@ func cmdServe(args []string, out io.Writer) error {
 	errc := make(chan error, 1)
 	go func() { errc <- serveUntil(ctx, &root, ln, out, "(recovering)") }()
 	var (
-		s    *serve.Server
-		d    *core.Durable
-		rep  *replica.Replica
-		info string
+		s        *serve.Server
+		d        *core.Durable
+		durables []*core.Durable
+		rep      *replica.Replica
+		info     string
 	)
 	switch {
+	case *route != "":
+		s, info, err = buildRouterServer(ctx, *data, *cell, *route, *partitionPath, serve.WithLimits(getLimits()))
 	case *follow != "":
 		s, rep, info, err = buildFollowerServer(ctx, *data, *dataDir, *follow, *walSync, *snapEvery, *promoteAfter, *cell, serve.WithLimits(getLimits()))
+	case *dataDir != "" && (*shards > 0 || hasShardManifest(*dataDir)):
+		// An existing shards.json makes the directory sharded regardless of
+		// flags; -shards only decides the layout of a fresh directory.
+		s, durables, info, err = buildDurableShardedServer(*data, *dataDir, *walSync, *snapEvery, *cell, *shards, getCap(), serve.WithLimits(getLimits()))
 	case *dataDir != "":
 		s, d, info, err = buildDurableServer(*data, *dataDir, *walSync, *snapEvery, *cell, getCap(), serve.WithLimits(getLimits()))
+	case *shards > 0:
+		s, info, err = buildShardedServer(*data, *modelPath, *cell, *shards, getCap(), serve.WithLimits(getLimits()))
 	default:
 		s, info, err = buildServer(*data, *modelPath, *cell, getCap(), serve.WithLimits(getLimits()))
 	}
@@ -108,6 +136,15 @@ func cmdServe(args []string, out io.Writer) error {
 		stop()
 		<-errc
 		return fmt.Errorf("serve: %w", err)
+	}
+	if *pprofAddr != "" {
+		stopPprof, perr := startPprof(*pprofAddr, out)
+		if perr != nil {
+			stop()
+			<-errc
+			return fmt.Errorf("serve: %w", perr)
+		}
+		defer stopPprof()
 	}
 	root.Store(s)
 	fmt.Fprintf(out, "llmq: ready, serving %s\n", info)
@@ -128,7 +165,40 @@ func cmdServe(args []string, out io.Writer) error {
 			serr = fmt.Errorf("serve: close durable store: %w", cerr)
 		}
 	}
+	for i, sd := range durables {
+		// Same final checkpoint, once per shard store.
+		if cerr := sd.Close(); cerr != nil && serr == nil {
+			serr = fmt.Errorf("serve: close shard %d store: %w", i, cerr)
+		}
+	}
 	return serr
+}
+
+// hasShardManifest reports whether dataDir is a sharded durable directory.
+func hasShardManifest(dataDir string) bool {
+	_, err := os.Stat(filepath.Join(dataDir, shard.ManifestName))
+	return err == nil
+}
+
+// startPprof serves the net/http/pprof endpoints on their own listener, off
+// the public address: profiles expose internals (and /debug/pprof/profile
+// blocks for seconds), so they belong on a port the operator can firewall
+// separately. The explicit mux keeps them off http.DefaultServeMux too.
+func startPprof(addr string, out io.Writer) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(out, "llmq: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return func() { _ = srv.Close() }, nil
 }
 
 // buildFollowerServer wires a read-only follower: a replica mirroring the

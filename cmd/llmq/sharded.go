@@ -1,0 +1,317 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"llmq/internal/core"
+	"llmq/internal/dataset"
+	"llmq/internal/index"
+	"llmq/internal/serve"
+	"llmq/internal/shard"
+	"llmq/internal/wal"
+)
+
+// Sharded serving modes of `llmq serve`:
+//
+//	-shards N              run N model shards in this process: /train
+//	                       partitions pairs across them (N writer locks
+//	                       instead of one), queries scatter/gather the
+//	                       union answer; with -data-dir each shard gets
+//	                       its own WAL directory and shards.json pins the
+//	                       partition across restarts
+//	-route shard0=URL,...  front remote shard servers: scans scatter over
+//	                       HTTP (spread across a shard's |-separated
+//	                       follower replicas), training goes to each
+//	                       shard's primary
+//
+// Every plain `llmq serve` instance already speaks the shard protocol, so
+// any of them can stand behind a router.
+
+// buildPartition derives the space partition from the relation itself: the
+// input vectors are the best available sample of where queries will land.
+// Cuts are balanced count quantiles, grid-snapped for d ≤ 3 (cell from the
+// data bounds) like the read-epoch grids.
+func buildPartition(ds *dataset.Dataset, shards int) (*index.Partition, error) {
+	flat := make([]float64, 0, len(ds.Xs)*ds.Dim())
+	for _, x := range ds.Xs {
+		flat = append(flat, x...)
+	}
+	cell := 0.0
+	if ds.Dim() <= 3 {
+		if b, err := ds.Bounds(); err == nil {
+			span := 0.0
+			for j := range b.InputMax {
+				span += b.InputMax[j] - b.InputMin[j]
+			}
+			cell = span / float64(ds.Dim()) / 64
+		}
+	}
+	return index.NewPartition(ds.Dim(), shards, flat, cell)
+}
+
+// buildShardedServer wires in-process sharded serving over in-memory
+// models: N fresh shards (or, with a model file, the model split along the
+// partition), behind the scatter/gather front-end. Capacity flags apply
+// per shard.
+func buildShardedServer(dataPath, modelPath string, cell float64, shards int, cp capacity, opts ...serve.Option) (*serve.Server, string, error) {
+	e, ds, err := loadExecutor(dataPath, cell)
+	if err != nil {
+		return nil, "", err
+	}
+	part, err := buildPartition(ds, shards)
+	if err != nil {
+		return nil, "", err
+	}
+	var models []*core.Model
+	if modelPath != "" {
+		parent, err := loadModel(modelPath, ds.Dim())
+		if err != nil {
+			return nil, "", err
+		}
+		models, err = core.Split(parent, shards, func(center []float64, _ float64) int {
+			return part.Locate(center)
+		})
+		if err != nil {
+			return nil, "", err
+		}
+	} else {
+		cfg, err := defaultModelConfig(ds)
+		if err != nil {
+			return nil, "", err
+		}
+		models = make([]*core.Model, shards)
+		for i := range models {
+			if models[i], err = core.NewModel(cfg); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+	backends := make([]shard.Backend, shards)
+	total := 0
+	for i, m := range models {
+		if cp.any() {
+			if err := applyCapacity(m, cp); err != nil {
+				return nil, "", err
+			}
+		}
+		total += m.K()
+		backends[i] = shard.NewLocal(m)
+	}
+	sh, err := shard.New(part, backends)
+	if err != nil {
+		return nil, "", err
+	}
+	s, err := serve.NewSharded(e, sh, opts...)
+	if err != nil {
+		return nil, "", err
+	}
+	info := fmt.Sprintf("%q (%d tuples, %d input attributes) across %d in-process shards (K=%d total)",
+		ds.Name, ds.Len(), ds.Dim(), shards, total)
+	return s, info, nil
+}
+
+// buildDurableShardedServer wires durable sharded serving: each shard
+// recovers from its own WAL subdirectory of dataDir, and shards.json pins
+// the partition so every boot routes exactly as the one that placed the
+// prototypes. A fresh directory builds the partition from the dataset and
+// writes the manifest first, so a crash between shard creations recovers
+// cleanly. Training fans out to per-shard WALs, fsyncing in parallel.
+func buildDurableShardedServer(dataPath, dataDir, walSync string, snapEvery int, cell float64, shards int, cp capacity, opts ...serve.Option) (*serve.Server, []*core.Durable, string, error) {
+	e, ds, err := loadExecutor(dataPath, cell)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	mode, err := wal.ParseSyncMode(walSync)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	manifestPath := filepath.Join(dataDir, shard.ManifestName)
+	var man shard.Manifest
+	if _, serr := os.Stat(manifestPath); serr == nil {
+		if man, err = shard.ReadManifest(manifestPath); err != nil {
+			return nil, nil, "", err
+		}
+		if man.Dim != ds.Dim() {
+			return nil, nil, "", fmt.Errorf("sharded directory %s has dim %d, relation has %d", dataDir, man.Dim, ds.Dim())
+		}
+		if shards != 0 && shards != man.Shards {
+			return nil, nil, "", fmt.Errorf("-shards %d conflicts with the %d shards recorded in %s (re-sharding a durable directory is an offline operation)",
+				shards, man.Shards, manifestPath)
+		}
+	} else {
+		part, perr := buildPartition(ds, shards)
+		if perr != nil {
+			return nil, nil, "", perr
+		}
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return nil, nil, "", err
+		}
+		man = shard.Manifest{Dim: ds.Dim(), Shards: shards, Part: part}
+		if err := shard.WriteManifest(manifestPath, man); err != nil {
+			return nil, nil, "", err
+		}
+	}
+	cfg, err := defaultModelConfig(ds)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	durables := make([]*core.Durable, 0, man.Shards)
+	fail := func(err error) (*serve.Server, []*core.Durable, string, error) {
+		for _, d := range durables {
+			_ = d.Close()
+		}
+		return nil, nil, "", err
+	}
+	backends := make([]shard.Backend, man.Shards)
+	totalK, totalSteps := 0, 0
+	for i := 0; i < man.Shards; i++ {
+		d, derr := core.Recover(filepath.Join(dataDir, fmt.Sprintf("shard-%d", i)), cfg, core.DurableOptions{
+			WAL:           wal.Options{Mode: mode},
+			SnapshotEvery: snapEvery,
+		})
+		if derr != nil {
+			return fail(fmt.Errorf("shard %d: %w", i, derr))
+		}
+		durables = append(durables, d)
+		if cp.any() {
+			max, policy, merge, cerr := resolveCapacity(d.Model().Config(), cp)
+			if cerr != nil {
+				return fail(cerr)
+			}
+			if err := d.SetCapacity(max, policy, merge); err != nil {
+				return fail(fmt.Errorf("shard %d: %w", i, err))
+			}
+		}
+		totalK += d.Model().K()
+		totalSteps += d.Model().Steps()
+		backends[i] = shard.NewLocalDurable(d)
+	}
+	sh, err := shard.New(man.Part, backends)
+	if err != nil {
+		return fail(err)
+	}
+	s, err := serve.NewSharded(e, sh, opts...)
+	if err != nil {
+		return fail(err)
+	}
+	info := fmt.Sprintf("%q (%d tuples, %d input attributes) across %d durable shards (K=%d total, %d steps, %s sync) in %s",
+		ds.Name, ds.Len(), ds.Dim(), man.Shards, totalK, totalSteps, mode, dataDir)
+	return s, durables, info, nil
+}
+
+// parseRouteSpec parses `-route shard0=URL[|followerURL...],shard1=...`:
+// one entry per shard, named by position, each a primary base URL plus
+// optional |-separated follower URLs scans may be spread across.
+func parseRouteSpec(spec string) ([][]string, error) {
+	entries := strings.Split(spec, ",")
+	urls := make([][]string, len(entries))
+	for _, entry := range entries {
+		name, rest, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return nil, fmt.Errorf("route entry %q is not shardN=URL", entry)
+		}
+		idStr, found := strings.CutPrefix(name, "shard")
+		if !found {
+			return nil, fmt.Errorf("route entry %q must be named shardN", entry)
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil || id < 0 || id >= len(urls) {
+			return nil, fmt.Errorf("route entry %q names shard %q; have %d entries so ids run 0..%d",
+				entry, idStr, len(urls), len(urls)-1)
+		}
+		if urls[id] != nil {
+			return nil, fmt.Errorf("route names shard%d twice", id)
+		}
+		reps := strings.Split(rest, "|")
+		for i, u := range reps {
+			reps[i] = strings.TrimRight(strings.TrimSpace(u), "/")
+			if reps[i] == "" {
+				return nil, fmt.Errorf("route entry %q has an empty URL", entry)
+			}
+		}
+		urls[id] = reps
+	}
+	return urls, nil
+}
+
+// buildRouterServer wires router mode: remote shard backends over HTTP,
+// routed by the manifest's partition when -partition is given, or by a
+// partition rebuilt from the local relation (sound when this router is the
+// shards' sole trainer — the prototypes were then placed by this very
+// partitioning of /train traffic). EXACT statements answer from this
+// process's relation copy; the relation itself is not sharded.
+func buildRouterServer(ctx context.Context, dataPath string, cell float64, routeSpec, partitionPath string, opts ...serve.Option) (*serve.Server, string, error) {
+	e, ds, err := loadExecutor(dataPath, cell)
+	if err != nil {
+		return nil, "", err
+	}
+	urls, err := parseRouteSpec(routeSpec)
+	if err != nil {
+		return nil, "", fmt.Errorf("-route: %w", err)
+	}
+	var part *index.Partition
+	if partitionPath != "" {
+		man, merr := shard.ReadManifest(partitionPath)
+		if merr != nil {
+			return nil, "", merr
+		}
+		if man.Shards != len(urls) {
+			return nil, "", fmt.Errorf("-partition records %d shards, -route names %d", man.Shards, len(urls))
+		}
+		if man.Dim != ds.Dim() {
+			return nil, "", fmt.Errorf("-partition has dim %d, relation has %d", man.Dim, ds.Dim())
+		}
+		part = man.Part
+	} else if part, err = buildPartition(ds, len(urls)); err != nil {
+		return nil, "", err
+	}
+	backends := make([]shard.Backend, len(urls))
+	followers := 0
+	for i, reps := range urls {
+		r := shard.NewRemote(reps[0], reps[1:], http.DefaultClient)
+		if err := primeRemote(ctx, r, ds.Dim()); err != nil {
+			return nil, "", fmt.Errorf("shard %d: %w", i, err)
+		}
+		backends[i] = r
+		followers += len(reps) - 1
+	}
+	sh, err := shard.New(part, backends)
+	if err != nil {
+		return nil, "", err
+	}
+	s, err := serve.NewSharded(e, sh, opts...)
+	if err != nil {
+		return nil, "", err
+	}
+	info := fmt.Sprintf("%q (%d tuples, %d input attributes) routing %d remote shards (+%d followers)",
+		ds.Name, ds.Len(), ds.Dim(), len(urls), followers)
+	return s, info, nil
+}
+
+// primeRemote fetches a remote shard's meta with a short retry loop, so a
+// router and its shards can boot concurrently.
+func primeRemote(ctx context.Context, r *shard.Remote, dim int) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := r.Prime(ctx, dim)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, core.ErrDimension) || time.Now().After(deadline) || ctx.Err() != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// Shard lifecycle primitives: Split carves one model's prototype set into N
+// disjoint models and Fuse concatenates models back into one. Both copy the
+// full writer state — prototypes, coefficients, win counts, eviction-clock
+// stamps and the RLS solver matrices — so the children (or the fused whole)
+// continue training exactly where the inputs left off. They are the
+// shard-split and shard-merge building blocks of the sharded serving tier:
+// the prototypes a shard trains stay inside its region (every drift, spawn
+// and merge-on-evict step is a convex combination of region points), so a
+// region split induces a clean prototype split, and a region merge is a
+// concatenation.
+
+// fuseEntry is one prototype's full writer state in transit.
+type fuseEntry struct {
+	l     *LLM
+	stamp int
+}
+
+// assembleModel builds a model that starts from a prepared prototype set:
+// the Load insertion loop, applied to in-memory entries. The result is
+// unconverged (its criterion state resets like a post-spawn step — the
+// parameter-set cardinality just changed) and enforces cfg's capacity.
+func assembleModel(cfg Config, steps int, entries []fuseEntry) (*Model, error) {
+	m, err := NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.steps = steps
+	m.lastGamma = math.Inf(1)
+	for i, e := range entries {
+		m.llms = append(m.llms, e.l)
+		m.store.addRow(e.l.CenterPrototype, e.l.ThetaPrototype)
+		m.store.syncCoef(i, e.l)
+		m.store.setStamp(i, e.stamp)
+	}
+	if cc := m.capCfg.Load(); cc.max > 0 && m.store.live > cc.max {
+		m.evictLocked(-1)
+	}
+	m.store.rebuildEpoch()
+	m.publishLocked()
+	return m, nil
+}
+
+// Fuse builds one model holding every live prototype of the input models,
+// concatenated in input order (each input's slots in ascending order) — the
+// "union model" a sharded deployment is defined to equal: scatter/gather
+// answers are property-tested bit-identical to the fused model's, because
+// both accumulate the same per-prototype terms in the same shard-major
+// order. The inputs are read under their writer locks (taken one at a time,
+// never nested) and are not modified; the fused model owns deep copies,
+// including each prototype's RLS solver state, so it can keep training.
+//
+// The training-step clock becomes the sum of the inputs' steps, and the
+// eviction stamps — meaningful only within one model's clock — are remapped
+// to their rank in the combined (stamp, input order) ordering, preserving
+// relative recency per input and the uniqueness the eviction tie-break
+// relies on. cfg supplies the fused model's configuration (its capacity is
+// enforced immediately); every input must match its dimensionality.
+func Fuse(cfg Config, ms ...*Model) (*Model, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%w: Fuse needs at least one model", ErrBadConfig)
+	}
+	var entries []fuseEntry
+	steps := 0
+	for i, src := range ms {
+		if src.cfg.Dim != cfg.Dim {
+			return nil, fmt.Errorf("%w: model %d has dim %d, fuse config has %d", ErrDimension, i, src.cfg.Dim, cfg.Dim)
+		}
+		src.mu.Lock()
+		steps += src.steps
+		for slot, l := range src.llms {
+			if l == nil { // tombstoned by eviction
+				continue
+			}
+			entries = append(entries, fuseEntry{l: l.clone(), stamp: src.store.stamp(slot)})
+		}
+		src.mu.Unlock()
+	}
+	// Remap stamps to ranks of the stable (stamp, concatenation index)
+	// order: unique by construction, and ≤ the summed step clock (each
+	// input's live count is bounded by its steps).
+	rank := make([]int, len(entries))
+	for i := range rank {
+		rank[i] = i
+	}
+	slices.SortStableFunc(rank, func(a, b int) int {
+		if d := entries[a].stamp - entries[b].stamp; d != 0 {
+			return d
+		}
+		return a - b
+	})
+	for r, i := range rank {
+		entries[i].stamp = r + 1
+	}
+	return assembleModel(cfg, steps, entries)
+}
+
+// Split partitions a model's live prototypes into n new models by the
+// assign function, which maps each prototype (centre, radius) to a group in
+// [0, n). Each child owns deep copies of its prototypes' full writer state
+// — coefficients, win counts, stamps, RLS matrices — in the parent's slot
+// order, inherits the parent's step clock (so stamps stay valid), and
+// starts unconverged so it keeps absorbing its region's stream. The parent
+// is read under its writer lock and left untouched; cfg comes from the
+// parent's current configuration.
+func Split(m *Model, n int, assign func(center []float64, theta float64) int) ([]*Model, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: Split needs a positive group count, got %d", ErrBadConfig, n)
+	}
+	cfg := m.Config()
+	groups := make([][]fuseEntry, n)
+	m.mu.Lock()
+	steps := m.steps
+	for slot, l := range m.llms {
+		if l == nil {
+			continue
+		}
+		g := assign(l.CenterPrototype, l.ThetaPrototype)
+		if g < 0 || g >= n {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("core: Split assign sent prototype %d to group %d of %d", slot, g, n)
+		}
+		groups[g] = append(groups[g], fuseEntry{l: l.clone(), stamp: m.store.stamp(slot)})
+	}
+	m.mu.Unlock()
+	out := make([]*Model, n)
+	for i := range out {
+		child, err := assembleModel(cfg, steps, groups[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = child
+	}
+	return out, nil
+}

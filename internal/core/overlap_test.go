@@ -18,7 +18,12 @@ func checkOverlapAgainstLinear(t *testing.T, m *Model, q Query, stage string) {
 	s := m.snap.Load()
 	var scA, scB predictScratch
 	gotIdx, gotW := s.overlapSet(q, &scA)
-	wantIdx, wantW := s.overlapLinear(q, &scB)
+	wantIdx, wantW, wantTotal := s.overlapLinearRaw(q, &scB)
+	if wantTotal > 0 {
+		for i := range wantW {
+			wantW[i] /= wantTotal
+		}
+	}
 	if len(gotIdx) != len(wantIdx) {
 		t.Fatalf("%s K=%d: overlap set size %d, linear %d", stage, s.k, len(gotIdx), len(wantIdx))
 	}

@@ -165,25 +165,22 @@ func (s *storeSnapshot) overlapAccumulate(q Query, id int, idx []int, weights []
 	return idx, weights, total
 }
 
-// overlapLinear builds the overlap set W(q) (Eq. 10) with one scan over all
-// prototype slots: the exact reference path, used below the index size gates
-// and whenever the radius query cannot prune. Tombstoned slots sit at
+// overlapLinearRaw builds the overlap set W(q) (Eq. 10) with one scan over
+// all prototype slots: the exact reference path, used below the index size
+// gates and whenever the radius query cannot prune. Tombstoned slots sit at
 // infinite distance and fail the membership test without a branch. The
-// returned slices live in the scratch and are valid until the next use of
-// it.
-func (s *storeSnapshot) overlapLinear(q Query, sc *predictScratch) (idx []int, weights []float64) {
+// weights are the raw (pre-normalization) overlap degrees, accumulated in
+// ascending slot order into total — the caller normalizes (overlapSet), or
+// ships the raw degrees to a scatter/gather merger that re-runs the same
+// accumulation across shards (View.ScatterScan). The returned slices live
+// in the scratch and are valid until the next use of it.
+func (s *storeSnapshot) overlapLinearRaw(q Query, sc *predictScratch) (idx []int, weights []float64, total float64) {
 	idx, weights = sc.idx[:0], sc.weights[:0]
-	var total float64
 	for k := 0; k < s.k; k++ {
 		idx, weights, total = s.overlapAccumulate(q, k, idx, weights, total)
 	}
-	if total > 0 {
-		for i := range weights {
-			weights[i] /= total
-		}
-	}
 	sc.idx, sc.weights = idx, weights
-	return idx, weights
+	return idx, weights, total
 }
 
 // overlapEps widens the radius-query bound by a relative margin so the
@@ -194,8 +191,24 @@ func (s *storeSnapshot) overlapLinear(q Query, sc *predictScratch) (idx []int, w
 // are bit-identical to overlapLinear's.
 const overlapEps = 1e-12
 
-// overlapSet builds W(q) through the epoch's radius query instead of a full
-// scan. The overlap test ‖x − x_k‖ ≤ θ + θ_k becomes a query-space ball
+// overlapSet builds W(q) and normalizes the weights to sum to one — the
+// form every prediction method consumes. The membership sweep is
+// overlapRaw's; the division happens here, last, so a scatter/gather tier
+// that needs the raw degrees (ScatterScan) shares every preceding
+// instruction with the local path.
+func (s *storeSnapshot) overlapSet(q Query, sc *predictScratch) (idx []int, weights []float64) {
+	idx, weights, total := s.overlapRaw(q, sc)
+	if total > 0 {
+		for i := range weights {
+			weights[i] /= total
+		}
+	}
+	return idx, weights
+}
+
+// overlapRaw builds W(q) through the epoch's radius query instead of a full
+// scan, returning raw (pre-normalization) degrees like overlapLinearRaw.
+// The overlap test ‖x − x_k‖ ≤ θ + θ_k becomes a query-space ball
 // once θ_k is bounded by maxTheta: every overlapping prototype lies within
 // R = θ + maxTheta of x, hence within rq = √(R² + max(θ, maxTheta)²) of
 // [x, θ] in the query space, and within rq + slack of its own stale epoch
@@ -203,12 +216,12 @@ const overlapEps = 1e-12
 // collects every leaf whose bounding box the ball touches. Every candidate
 // is then verified on the snapshot's live rows with exactly the linear
 // scan's arithmetic, in ascending prototype order, so indices, weights and
-// their normalization match overlapLinear bit for bit. Rows appended after
+// the running total match overlapLinearRaw bit for bit. Rows appended after
 // the epoch build (the tail) are scanned directly.
-func (s *storeSnapshot) overlapSet(q Query, sc *predictScratch) (idx []int, weights []float64) {
+func (s *storeSnapshot) overlapRaw(q Query, sc *predictScratch) (idx []int, weights []float64, total float64) {
 	e := s.epoch
 	if e == nil {
-		return s.overlapLinear(q, sc)
+		return s.overlapLinearRaw(q, sc)
 	}
 	R := q.Theta + s.maxTheta
 	T := q.Theta
@@ -243,10 +256,9 @@ func (s *storeSnapshot) overlapSet(q Query, sc *predictScratch) (idx []int, weig
 		// The ball covers most of the prototype set (a broad query, or a
 		// workload without locality): the straight scan is cheaper than
 		// gather-and-sort and returns the identical result.
-		return s.overlapLinear(q, sc)
+		return s.overlapLinearRaw(q, sc)
 	}
 	idx, weights = sc.idx[:0], sc.weights[:0]
-	var total float64
 	if len(cand) >= e.builtK/16 {
 		// Too many candidates for a sort to beat a sweep (a broad radius, or
 		// grid cell boxes much wider than the ball): mark them in a mask and
@@ -282,13 +294,8 @@ func (s *storeSnapshot) overlapSet(q Query, sc *predictScratch) (idx []int, weig
 	for id := e.builtK; id < s.k; id++ {
 		idx, weights, total = s.overlapAccumulate(q, id, idx, weights, total)
 	}
-	if total > 0 {
-		for i := range weights {
-			weights[i] /= total
-		}
-	}
 	sc.idx, sc.weights = idx, weights
-	return idx, weights
+	return idx, weights, total
 }
 
 // View is an immutable, lock-free view of the model at one published

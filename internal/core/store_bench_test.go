@@ -236,7 +236,7 @@ func BenchmarkOverlapSet(b *testing.B) {
 			b.ReportAllocs()
 			var sc predictScratch
 			for i := 0; i < b.N; i++ {
-				s.overlapLinear(queries[i%len(queries)], &sc)
+				s.overlapLinearRaw(queries[i%len(queries)], &sc)
 			}
 		})
 	}

@@ -69,6 +69,7 @@ import (
 	"llmq/internal/exec"
 	"llmq/internal/replica"
 	"llmq/internal/resilience"
+	"llmq/internal/shard"
 	"llmq/internal/sqlfront"
 )
 
@@ -81,6 +82,9 @@ type Server struct {
 	// promotion, the durable store are read from it per request, because a
 	// re-bootstrap or a promotion swaps them at runtime.
 	replica *replica.Replica
+	// sharded is non-nil on a scatter/gather front-end (NewSharded): the
+	// APPROX surface is the union of the set's shards instead of one model.
+	sharded *shard.Sharded
 	mux     *http.ServeMux
 
 	limits     Limits
@@ -224,6 +228,9 @@ func New(e *exec.Executor, m *core.Model, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
+	s.mux.HandleFunc(shard.PathScan, s.handleShardScan)
+	s.mux.HandleFunc(shard.PathMeta, s.handleShardMeta)
+	s.mux.HandleFunc(shard.PathTrain, s.handleShardTrain)
 	s.mux.HandleFunc(replica.PathSnapshot, s.handleReplicateSnapshot)
 	s.mux.HandleFunc(replica.PathWAL, s.handleReplicateWAL)
 	s.mux.HandleFunc(replica.PathHash, s.handleReplicateHash)
@@ -317,6 +324,9 @@ type ModelInfo struct {
 	Dim        int     `json:"dim,omitempty"`
 	// Durable reports whether /train traffic is write-ahead logged.
 	Durable bool `json:"durable,omitempty"`
+	// Shards is the shard count of a sharded set (0 on a single-model
+	// server); Prototypes and Steps are then totals across the shards.
+	Shards int `json:"shards,omitempty"`
 }
 
 type errorBody struct {
@@ -387,6 +397,9 @@ type ReadyResponse struct {
 	// ReplicationLag is the follower's lag behind the primary in training
 	// records (primary steps at last contact minus local steps).
 	ReplicationLag *int `json:"replication_lag_records,omitempty"`
+	// Shards carries per-shard readiness on a sharded front-end; one
+	// degraded shard makes the whole set "degraded", with Cause naming it.
+	Shards []ShardReady `json:"shards,omitempty"`
 }
 
 // handleReady is the readiness probe: distinct from /healthz liveness so an
@@ -426,6 +439,10 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusServiceUnavailable, resp)
 			return
 		}
+	}
+	if s.sharded != nil && s.shardedReady(r, &resp) {
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
 	}
 	if s.brownout() {
 		resp.Status = "overloaded"
@@ -475,6 +492,19 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info := ModelInfo{}
+	if s.sharded != nil {
+		st := s.sharded.Stats()
+		writeJSON(w, http.StatusOK, ModelInfo{
+			Loaded:     st.Live > 0,
+			Prototypes: st.Live,
+			Steps:      st.Steps,
+			Converged:  st.Converged,
+			Dim:        st.Dim,
+			Durable:    st.Durable,
+			Shards:     s.sharded.Shards(),
+		})
+		return
+	}
 	if m := s.modelNow(); m != nil {
 		// One pinned View, so K/Steps/Converged describe the same version
 		// even while training publishes concurrently.
@@ -504,23 +534,13 @@ type modelReader interface {
 	PredictValue(core.Query, []float64) (float64, error)
 }
 
-// reader returns the per-request prediction surface, or nil when the server
-// has no model (parseStatement rejects APPROX statements in that case, and
-// exact statements never touch it).
-func (s *Server) reader() modelReader {
-	if m := s.modelNow(); m != nil {
-		return m
-	}
-	return nil
-}
-
 // degradable reports whether a statement that asked for EXACT execution
 // could instead be answered by the model: every statement kind has an
-// APPROX twin, so the only requirement is a trained model of the right
-// dimensionality (parseStatement already validated the dimensions).
+// APPROX twin, so the only requirement is a trained model (or sharded set)
+// of the right dimensionality (parseStatement already validated the
+// dimensions).
 func (s *Server) degradable() bool {
-	m := s.modelNow()
-	return s.limits.DegradeExact && m != nil && m.K() > 0
+	return s.limits.DegradeExact && s.trained()
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -559,7 +579,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.admitQuery.Release(1)
-	resp, err := s.answer(r.Context(), stmt, s.reader(), degraded)
+	resp, err := s.answer(r.Context(), stmt, s.readerFor(r), degraded)
 	if err != nil {
 		s.writeAnswerError(w, r, err)
 		return
@@ -608,7 +628,7 @@ func (s *Server) parseStatement(sql string) (*sqlfront.Statement, int, error) {
 			fmt.Errorf("query centre has %d coordinates, relation has %d input attributes",
 				len(stmt.Center), len(s.exec.InputNames()))
 	}
-	if m := s.modelNow(); stmt.Approx && (m == nil || m.K() == 0) {
+	if stmt.Approx && !s.trained() {
 		return nil, http.StatusConflict, errors.New("no trained model loaded for APPROX statements")
 	}
 	return stmt, http.StatusOK, nil
@@ -652,6 +672,10 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	if s.sharded != nil {
+		s.handleShardedTrain(w, r)
+		return
+	}
 	model, durable := s.modelNow(), s.durableNow()
 	if s.replica != nil && durable == nil {
 		// A follower's state is defined as "exactly what the primary
@@ -678,23 +702,10 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	if len(req.Pairs) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("missing pairs"))
+	pairs, status, err := convertPairs(req.Pairs)
+	if err != nil {
+		writeError(w, status, err)
 		return
-	}
-	if len(req.Pairs) > maxTrainPairs {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("request has %d pairs, limit is %d", len(req.Pairs), maxTrainPairs))
-		return
-	}
-	pairs := make([]core.TrainingPair, len(req.Pairs))
-	for i, p := range req.Pairs {
-		q, err := core.NewQuery(p.Center, p.Theta)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("pair %d: %w", i, err))
-			return
-		}
-		pairs[i] = core.TrainingPair{Query: q, Answer: p.Answer}
 	}
 	weight := int64(len(pairs))
 	if err := s.admitTrain.Acquire(r.Context(), weight); err != nil {
@@ -709,10 +720,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	defer s.admitTrain.Release(weight)
 	start := time.Now()
 	before := model.Steps()
-	var (
-		res core.TrainingResult
-		err error
-	)
+	var res core.TrainingResult
 	if durable != nil {
 		res, err = durable.TrainBatch(pairs)
 	} else {
@@ -804,9 +812,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	// Pin one model version for the whole batch: the answers are mutually
 	// consistent even while a training stream or a zero-downtime model swap
-	// publishes newer versions mid-request.
+	// publishes newer versions mid-request. A sharded reader pins the
+	// routing epoch instead — every statement of the sheet routes through
+	// the same partition and backend set even across a concurrent shard
+	// split or merge (per-shard versions still advance between statements).
 	var reader modelReader
-	if m := s.modelNow(); m != nil {
+	if s.sharded != nil {
+		reader = s.sharded.Reader(r.Context())
+	} else if m := s.modelNow(); m != nil {
 		reader = m.View()
 	}
 	items := make([]BatchItem, len(req.SQL))

@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Shard-scaling measurements. The write path scales because TrainBatch
+// buckets the pairs and each shard absorbs its bucket under its own writer
+// lock; the read path scales because concurrent queries fan out over
+// per-shard scans. On the 1-core container the numbers collapse to ~1× —
+// the scaling shows on multi-core runners; scripts/bench.sh records both.
+
+// benchShardCounts is the scaling ladder of BENCH_<n>.json.
+var benchShardCounts = []int{1, 2, 4, 8}
+
+// TestShardedTrainScaling asserts the tentpole property on a multi-core
+// runner: partitioned training across 4 shards beats the single writer lock
+// by a clear margin on the identical pair stream. Timing-based, so the
+// bar is deliberately below the ~3× a quiet 4-core machine shows.
+func TestShardedTrainScaling(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need 4 cores to observe write scaling, have GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	rng := rand.New(rand.NewSource(141))
+	pairs := stream(6000, 2, rng)
+	elapsed := func(shards int) time.Duration {
+		s := newTestSet(t, 2, shards, pairs)
+		ctx := context.Background()
+		start := time.Now()
+		for off := 0; off < len(pairs); off += 500 {
+			if _, err := s.TrainBatch(ctx, pairs[off:off+500]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	// Best of two runs each, to shrug off scheduler noise.
+	t1 := min(elapsed(1), elapsed(1))
+	t4 := min(elapsed(4), elapsed(4))
+	speedup := float64(t1) / float64(t4)
+	t.Logf("1 shard %v, 4 shards %v: %.2fx", t1, t4, speedup)
+	if speedup < 1.5 {
+		t.Fatalf("4-shard training only %.2fx faster than 1-shard (%v vs %v)", speedup, t4, t1)
+	}
+}
+
+// BenchmarkShardedTrainThroughput measures partitioned write throughput at
+// each shard count: one op trains a 256-pair batch through the scatter
+// bucketer. pairs/s is the headline metric; ns/op is per batch. Prototype
+// counts saturate under the test vigilance, so steady-state batches are
+// comparable across shard counts.
+func BenchmarkShardedTrainThroughput(b *testing.B) {
+	for _, shards := range benchShardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(151))
+			pool := stream(4096, 2, rng)
+			s := newTestSet(b, 2, shards, pool)
+			ctx := context.Background()
+			const batch = 256
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (i * batch) % len(pool)
+				if _, err := s.TrainBatch(ctx, pool[off:off+batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+	b.Logf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkShardedQPS measures read throughput at each shard count:
+// concurrent Q1 queries scattered over the set from all cores. Most queries
+// route point-to-point (one shard), so added shards shrink per-scan work
+// and add read parallelism.
+func BenchmarkShardedQPS(b *testing.B) {
+	for _, shards := range benchShardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(161))
+			pool := stream(4096, 2, rng)
+			s := newTestSet(b, 2, shards, pool)
+			if _, err := s.TrainBatch(context.Background(), pool); err != nil {
+				b.Fatal(err)
+			}
+			queries := queryMix(2, 1024, rng)
+			var cursor atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					q := queries[int(cursor.Add(1))%len(queries)]
+					if _, err := s.PredictMean(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+	b.Logf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+}

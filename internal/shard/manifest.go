@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"llmq/internal/index"
+	"llmq/internal/wal"
+)
+
+// ManifestName is the file a sharded data directory keeps its layout in,
+// next to the per-shard subdirectories.
+const ManifestName = "shards.json"
+
+// Manifest pins a sharded deployment's layout: the partition that decides
+// which shard owns which region, and the shard count. A sharded data
+// directory writes it once at creation and every boot re-routes by exactly
+// this partition — prototypes were placed by it, so routing by any other
+// partition would silently miss them. A remote router can load the same
+// file to front the shards.
+type Manifest struct {
+	Dim    int              `json:"dim"`
+	Shards int              `json:"shards"`
+	Part   *index.Partition `json:"partition"`
+}
+
+// WriteManifest persists the manifest atomically (temp file + rename +
+// directory fsync), so a crash mid-write never leaves a torn layout.
+func WriteManifest(path string, m Manifest) error {
+	if m.Part == nil || m.Part.Leaves() != m.Shards || m.Part.Dim() != m.Dim {
+		return fmt.Errorf("shard: manifest does not describe its partition (dim %d/%d, shards %d/%d)",
+			m.Dim, m.Part.Dim(), m.Shards, m.Part.Leaves())
+	}
+	return wal.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// ReadManifest loads and validates a manifest.
+func ReadManifest(path string) (Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Manifest{}, fmt.Errorf("shard: manifest %s: %w", path, err)
+	}
+	if m.Part == nil {
+		return Manifest{}, fmt.Errorf("shard: manifest %s has no partition", path)
+	}
+	if m.Part.Leaves() != m.Shards || m.Part.Dim() != m.Dim {
+		return Manifest{}, fmt.Errorf("shard: manifest %s is inconsistent (dim %d vs partition %d, shards %d vs leaves %d)",
+			path, m.Dim, m.Part.Dim(), m.Shards, m.Part.Leaves())
+	}
+	return m, nil
+}

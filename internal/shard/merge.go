@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"math"
+
+	"llmq/internal/core"
+)
+
+// gathered is the union model's view of one query, assembled from per-shard
+// scatter results in ascending shard order: the shard-major concatenation
+// of raw contributions, the global winner terms, and the union's live
+// count.
+type gathered struct {
+	live     int
+	contribs []core.ScatterContribution
+	// winner* carry the terms of the globally closest prototype among the
+	// shards whose local overlap came up empty. They decide the answer only
+	// when contribs is empty — then every scanned shard reported a winner,
+	// and the closest one is the union model's extrapolation source.
+	winnerDist  float64
+	winnerMean  float64
+	winnerValue float64
+	winnerModel *core.LocalLinear
+}
+
+// gather folds per-shard scatter results, which MUST be ordered by
+// ascending shard id — the order core.Fuse concatenates slots in, and
+// therefore the order the union model's own accumulation loop visits them.
+// The strict < on the winner distance keeps the first minimum in shard
+// order, matching the union model's slot-order winner sweep.
+func gather(results []core.ScatterResult) gathered {
+	g := gathered{winnerDist: math.Inf(1)}
+	for _, r := range results {
+		g.live += r.Live
+		g.contribs = append(g.contribs, r.Contribs...)
+		if r.WinnerDist < g.winnerDist {
+			g.winnerDist = r.WinnerDist
+			g.winnerMean = r.WinnerMean
+			g.winnerValue = r.WinnerValue
+			g.winnerModel = r.WinnerModel
+		}
+	}
+	return g
+}
+
+// total sums the raw overlap degrees in concatenation order — the union
+// model's running total, the single divisor of every fusion weight.
+func (g gathered) total() float64 {
+	var t float64
+	for _, c := range g.contribs {
+		t += c.Degree
+	}
+	return t
+}
+
+// mean replays the union model's Q1 accumulation (Eq. 11/12) over the
+// concatenated raw terms.
+func (g gathered) mean() float64 {
+	if len(g.contribs) == 0 {
+		return g.winnerMean
+	}
+	t := g.total()
+	var yhat float64
+	for _, c := range g.contribs {
+		yhat += c.Degree / t * c.Mean
+	}
+	return yhat
+}
+
+// value replays the union model's value-prediction accumulation (Eq. 14).
+func (g gathered) value() float64 {
+	if len(g.contribs) == 0 {
+		return g.winnerValue
+	}
+	t := g.total()
+	var uhat float64
+	for _, c := range g.contribs {
+		uhat += c.Degree / t * c.Value
+	}
+	return uhat
+}
+
+// models assembles the union model's Q2 answer (Theorem 3): the local
+// linear models of the overlapping prototypes with their normalized fusion
+// weights, or the winner's model with weight 0 on the extrapolation path.
+func (g gathered) models() []core.LocalLinear {
+	if len(g.contribs) == 0 {
+		if g.winnerModel == nil {
+			return nil
+		}
+		m := *g.winnerModel
+		m.Weight = 0
+		return []core.LocalLinear{m}
+	}
+	t := g.total()
+	out := make([]core.LocalLinear, 0, len(g.contribs))
+	for _, c := range g.contribs {
+		m := *c.Model
+		m.Weight = c.Degree / t
+		out = append(out, m)
+	}
+	return out
+}

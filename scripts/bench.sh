@@ -144,6 +144,12 @@ go test -run '^$' -bench 'BenchmarkReplicationLag' \
     -benchtime "${REPL_BENCHTIME:-2000x}" ./internal/replica/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkReplicationBootstrap' \
     -benchtime "${BOOTSTRAP_BENCHTIME:-20x}" ./internal/replica/ >>"$tmp"
+# Shard scaling ladder: partitioned train throughput (pairs/s per batch op)
+# and concurrent read QPS at 1/2/4/8 shards. On a multi-core runner the
+# shards=4 rows should sit near 4x the shards=1 rows; the gate watches the
+# shards=4 entries so a routing-layer regression can't hide in the ladder.
+go test -run '^$' -bench 'BenchmarkSharded' \
+    -benchtime "${SHARD_BENCHTIME:-50x}" ./internal/shard/ >>"$tmp"
 
 
 awk -v gmp="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" \
