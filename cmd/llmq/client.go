@@ -37,13 +37,13 @@ var clientBackoff = resilience.Backoff{
 // oversized POST the server must reject.
 const chunkLimit = 4096
 
-// postRetry POSTs body as JSON to url with retries and decodes a 200
-// response into result. Any terminal non-200 status is returned as an
-// error carrying the server's error body.
-func postRetry(ctx context.Context, url string, body, result any) error {
+// postJSON POSTs body as JSON to url with retries and returns the response
+// on a 200; any terminal non-200 status is turned into an error carrying
+// the server's error body. The caller owns closing the response body.
+func postJSON(ctx context.Context, url string, body any) (*http.Response, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newReq := func() (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
@@ -55,9 +55,8 @@ func postRetry(ctx context.Context, url string, body, result any) error {
 	}
 	resp, err := resilience.Do(ctx, http.DefaultClient, newReq, clientBackoff)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var eb struct {
 			Error string `json:"error"`
@@ -66,8 +65,20 @@ func postRetry(ctx context.Context, url string, body, result any) error {
 		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb) == nil && eb.Error != "" {
 			msg = fmt.Sprintf("%s: %s", resp.Status, eb.Error)
 		}
-		return fmt.Errorf("%s answered %s", url, msg)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%s answered %s", url, msg)
 	}
+	return resp, nil
+}
+
+// postRetry POSTs body as JSON to url with retries and decodes a 200
+// response into result.
+func postRetry(ctx context.Context, url string, body, result any) error {
+	resp, err := postJSON(ctx, url, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
 	return json.NewDecoder(resp.Body).Decode(result)
 }
 
@@ -78,6 +89,12 @@ func joinURL(base, path string) string {
 
 // remoteBatch ships a statement sheet to a running server's /query/batch in
 // admission-sized chunks and prints the positional answers in input order.
+// The server streams NDJSON, and the client consumes it incrementally: each
+// answer is printed the moment its frame arrives, while later statements in
+// the sheet are still executing. Retries cover only the pre-stream phase (a
+// 429/503 shed before the server committed to the sheet); once frames flow,
+// a broken stream is terminal — re-sending could re-execute statements the
+// server already answered.
 func remoteBatch(ctx context.Context, out io.Writer, base string, sqls []string) error {
 	start := time.Now()
 	n := 0
@@ -87,30 +104,35 @@ func remoteBatch(ctx context.Context, out io.Writer, base string, sqls []string)
 			chunk = chunk[:chunkLimit]
 		}
 		sqls = sqls[len(chunk):]
-		var resp serve.BatchResponse
-		if err := postRetry(ctx, joinURL(base, "/query/batch"), serve.BatchRequest{SQL: chunk}, &resp); err != nil {
+		resp, err := postJSON(ctx, joinURL(base, "/query/batch"), serve.BatchRequest{SQL: chunk})
+		if err != nil {
 			return err
 		}
-		if len(resp.Results) != len(chunk) {
-			return fmt.Errorf("server answered %d results for %d statements", len(resp.Results), len(chunk))
-		}
-		for _, item := range resp.Results {
+		trailer, err := serve.ReadBatchStream(resp.Body, func(f serve.BatchFrame) error {
 			n++
-			printBatchItem(out, n, item)
+			printBatchFrame(out, n, f)
+			return nil
+		})
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if trailer.Results != len(chunk) {
+			return fmt.Errorf("server answered %d results for %d statements", trailer.Results, len(chunk))
 		}
 	}
 	fmt.Fprintf(out, "answered %d statements in %v\n", n, time.Since(start).Round(time.Microsecond))
 	return nil
 }
 
-// printBatchItem renders one positional /query/batch answer the way the
+// printBatchFrame renders one positional /query/batch answer the way the
 // local batch mode prints its statements.
-func printBatchItem(out io.Writer, n int, item serve.BatchItem) {
-	if item.Error != "" {
-		fmt.Fprintf(out, "[%d] error: %s\n", n, item.Error)
+func printBatchFrame(out io.Writer, n int, f serve.BatchFrame) {
+	if f.Error != "" {
+		fmt.Fprintf(out, "[%d] error: %s\n", n, f.Error)
 		return
 	}
-	r := item.QueryResponse
+	r := f.QueryResponse
 	mode := "exact"
 	if r.Approx {
 		mode = "model"
@@ -123,6 +145,8 @@ func printBatchItem(out io.Writer, n int, item serve.BatchItem) {
 		fmt.Fprintf(out, "[%d] AVG = %.6g   [%s]\n", n, *r.Mean, mode)
 	case r.Value != nil:
 		fmt.Fprintf(out, "[%d] VALUE = %.6g   [%s]\n", n, *r.Value, mode)
+	case len(r.Models) > 0 && r.R2 != nil:
+		fmt.Fprintf(out, "[%d] REGRESSION: %d local linear model(s), R² = %.4g   [%s]\n", n, len(r.Models), *r.R2, mode)
 	case len(r.Models) > 0:
 		fmt.Fprintf(out, "[%d] REGRESSION: %d local linear model(s)   [%s]\n", n, len(r.Models), mode)
 	default:

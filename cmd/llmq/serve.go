@@ -259,6 +259,8 @@ func limitFlags(fs *flag.FlagSet) func() serve.Limits {
 	admitWait := fs.Duration("admit-wait", 100*time.Millisecond, "how long a request may wait for admission before a 429 shed")
 	degradeExact := fs.Bool("degrade-exact", false, "during overload, answer EXACT-eligible statements from the model (marked \"degraded\": true) instead of shedding them")
 	maxLag := fs.Int("max-replication-lag", 0, "with -follow: records of replication lag past which /readyz reports not-ready (default 4096; negative disables)")
+	batchWindow := fs.Duration("batch-window", 0, "coalesce concurrent /query requests arriving within this window into one batch sheet (0.5ms-2ms is the useful range; 0 disables)")
+	batchMaxSheet := fs.Int("batch-max-sheet", 0, "statements per coalesced sheet before an overflow cut (default 64; only with -batch-window)")
 	return func() serve.Limits {
 		l := serve.Limits{
 			QueryConcurrency:  *admitQueries,
@@ -267,6 +269,8 @@ func limitFlags(fs *flag.FlagSet) func() serve.Limits {
 			QueryTimeout:      *queryTimeout,
 			DegradeExact:      *degradeExact,
 			MaxReplicationLag: *maxLag,
+			BatchWindow:       *batchWindow,
+			BatchMaxSheet:     *batchMaxSheet,
 		}
 		if *queryTimeout <= 0 {
 			l.QueryTimeout = -1 // Limits semantics: 0 means default, negative disables

@@ -74,6 +74,25 @@ func ForEachParallelCtx(ctx context.Context, n int, fn func(i int)) error {
 	return ctx.Err()
 }
 
+// ForEachParallelStream is ForEachParallelCtx with a completion feed: after
+// each fn(i) returns, i is sent on completed, so a consumer can act on
+// finished items (flush an HTTP response frame, update a progress bar)
+// while the rest of the batch is still running. Completion order is the
+// order items finish, not index order — a consumer that needs ordered
+// output reorders on its side.
+//
+// The caller owns the channel: it must either keep receiving or size the
+// buffer at n, or the workers block on the send; and it closes the channel
+// (after this call returns) if the consumer ranges over it. The error
+// contract is ForEachParallelCtx's: nil means every index completed (and
+// was sent), ctx.Err() means a prefix-dense subset was.
+func ForEachParallelStream(ctx context.Context, n int, fn func(i int), completed chan<- int) error {
+	return ForEachParallelCtx(ctx, n, func(i int) {
+		fn(i)
+		completed <- i
+	})
+}
+
 // MeanBatch executes many exact Q1 queries concurrently.
 func (e *Executor) MeanBatch(qs []RadiusQuery) ([]MeanResult, []error) {
 	return e.MeanBatchCtx(context.Background(), qs)

@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachParallelStreamFeedsEveryIndexOnce(t *testing.T) {
+	const n = 200
+	completed := make(chan int, n)
+	var mu sync.Mutex
+	ran := make([]bool, n)
+	if err := ForEachParallelStream(context.Background(), n, func(i int) {
+		mu.Lock()
+		ran[i] = true
+		mu.Unlock()
+	}, completed); err != nil {
+		t.Fatal(err)
+	}
+	close(completed)
+	seen := make([]bool, n)
+	count := 0
+	for i := range completed {
+		if seen[i] {
+			t.Fatalf("index %d fed twice", i)
+		}
+		seen[i] = true
+		if !ran[i] {
+			t.Fatalf("index %d fed before its fn ran", i)
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("fed %d of %d indices", count, n)
+	}
+}
+
+// TestForEachParallelStreamUnbufferedConsumer drives the other legal calling
+// shape: an unbuffered channel with a live consumer, so workers block on the
+// send until the consumer catches up and the call still completes.
+func TestForEachParallelStreamUnbufferedConsumer(t *testing.T) {
+	const n = 64
+	completed := make(chan int)
+	var got atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range completed {
+			got.Add(1)
+		}
+	}()
+	if err := ForEachParallelStream(context.Background(), n, func(int) {}, completed); err != nil {
+		t.Fatal(err)
+	}
+	close(completed)
+	<-done
+	if got.Load() != n {
+		t.Fatalf("consumer received %d of %d", got.Load(), n)
+	}
+}
+
+// TestForEachParallelStreamCancellation checks the contract that matters to
+// the streaming batch handler: after a cancellation, exactly the indices
+// whose fn ran were fed — no phantom completions for skipped statements.
+func TestForEachParallelStreamCancellation(t *testing.T) {
+	const n = 10000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	completed := make(chan int, n)
+	var calls atomic.Int64
+	err := ForEachParallelStream(ctx, n, func(int) {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+	}, completed)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(completed)
+	fed := 0
+	for range completed {
+		fed++
+	}
+	if int64(fed) != calls.Load() {
+		t.Fatalf("fed %d completions for %d executed fns", fed, calls.Load())
+	}
+	if fed >= n {
+		t.Fatal("cancellation did not stop the pool")
+	}
+}

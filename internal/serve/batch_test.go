@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -21,6 +22,24 @@ func postBatch(t *testing.T, s *Server, body any) *httptest.ResponseRecorder {
 	return rec
 }
 
+// decodeStream reads a recorded /query/batch NDJSON body through the shared
+// stream reader, returning the positional result frames and the trailer.
+func decodeStream(t *testing.T, rec *httptest.ResponseRecorder) ([]BatchFrame, BatchFrame) {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != NDJSONContentType {
+		t.Fatalf("Content-Type %q, want %q", ct, NDJSONContentType)
+	}
+	var frames []BatchFrame
+	trailer, err := ReadBatchStream(rec.Body, func(f BatchFrame) error {
+		frames = append(frames, f)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reading batch stream: %v", err)
+	}
+	return frames, trailer
+}
+
 func TestBatchEndpoint(t *testing.T) {
 	s := newServer(t, true)
 	rec := postBatch(t, s, BatchRequest{SQL: []string{
@@ -29,31 +48,39 @@ func TestBatchEndpoint(t *testing.T) {
 		"SELECT APPROX REGRESSION(u) FROM r1 WITHIN 0.15 OF (0.6, 0.4)",
 		"NOT SQL AT ALL",
 		"SELECT AVG(u) FROM r1 WITHIN 0.000001 OF (0.9, 0.9)", // empty subspace
+		"SELECT REGRESSION(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)",
 	}})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
-	var resp BatchResponse
-	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
-		t.Fatal(err)
+	frames, trailer := decodeStream(t, rec)
+	if len(frames) != 6 || trailer.Results != 6 {
+		t.Fatalf("got %d frames (trailer claims %d), want 6", len(frames), trailer.Results)
 	}
-	if len(resp.Results) != 5 {
-		t.Fatalf("got %d results, want 5", len(resp.Results))
+	if trailer.TotalElapsed == "" {
+		t.Error("trailer is missing total_elapsed")
 	}
-	if resp.Results[0].Error != "" || resp.Results[0].Mean == nil {
-		t.Errorf("approx mean result: %+v", resp.Results[0])
+	if frames[0].Error != "" || frames[0].Mean == nil {
+		t.Errorf("approx mean result: %+v", frames[0])
 	}
-	if resp.Results[1].Error != "" || resp.Results[1].Mean == nil || resp.Results[1].Tuples == 0 {
-		t.Errorf("exact mean result: %+v", resp.Results[1])
+	if frames[1].Error != "" || frames[1].Mean == nil || frames[1].Tuples == 0 {
+		t.Errorf("exact mean result: %+v", frames[1])
 	}
-	if resp.Results[2].Error != "" || len(resp.Results[2].Models) == 0 {
-		t.Errorf("approx regression result: %+v", resp.Results[2])
+	if frames[2].Error != "" || len(frames[2].Models) == 0 {
+		t.Errorf("approx regression result: %+v", frames[2])
 	}
-	if resp.Results[3].Error == "" {
+	if frames[3].Error == "" {
 		t.Error("unparsable statement should report an error")
 	}
-	if resp.Results[4].Error == "" {
+	if frames[4].Error == "" {
 		t.Error("empty subspace should report an error")
+	}
+	// Exact Q2 carries its fit diagnostics on the batch path.
+	if frames[5].Error != "" || frames[5].FVU == nil || frames[5].R2 == nil {
+		t.Errorf("exact regression result should carry fvu and r2: %+v", frames[5])
+	}
+	if frames[2].FVU != nil {
+		t.Errorf("approx regression should not carry fvu: %+v", frames[2])
 	}
 
 	// Positional answers must match the single-statement endpoint.
@@ -65,8 +92,8 @@ func TestBatchEndpoint(t *testing.T) {
 	if err := json.Unmarshal(rec2.Body.Bytes(), &one); err != nil {
 		t.Fatal(err)
 	}
-	if *one.Mean != *resp.Results[0].Mean {
-		t.Errorf("batch mean %v != single mean %v", *resp.Results[0].Mean, *one.Mean)
+	if *one.Mean != *frames[0].Mean {
+		t.Errorf("batch mean %v != single mean %v", *frames[0].Mean, *one.Mean)
 	}
 }
 
@@ -80,12 +107,12 @@ func TestBatchEndpointLarge(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
-	var resp BatchResponse
-	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
-		t.Fatal(err)
+	frames, _ := decodeStream(t, rec)
+	if len(frames) != 64 {
+		t.Fatalf("got %d frames, want 64", len(frames))
 	}
-	for i := 1; i < len(resp.Results); i++ {
-		if *resp.Results[i].Mean != *resp.Results[0].Mean {
+	for i := 1; i < len(frames); i++ {
+		if *frames[i].Mean != *frames[0].Mean {
 			t.Fatalf("identical statements disagree at %d", i)
 		}
 	}
@@ -100,34 +127,42 @@ func TestBatchEndpointErrors(t *testing.T) {
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET status %d", rec.Code)
 	}
-	// Bad body.
+	// Bad body: still a plain status-coded JSON refusal, not a stream.
 	req = httptest.NewRequest(http.MethodPost, "/query/batch", bytes.NewReader([]byte("{")))
 	rec = httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("bad body status %d", rec.Code)
 	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("pre-stream refusal Content-Type %q, want application/json", ct)
+	}
 	// Empty list.
 	if rec := postBatch(t, s, BatchRequest{}); rec.Code != http.StatusBadRequest {
 		t.Errorf("empty list status %d", rec.Code)
 	}
-	// APPROX without a model reports per-item errors, not a request error.
+	// Oversized sheet.
+	if rec := postBatch(t, s, BatchRequest{SQL: make([]string, maxBatchStatements+1)}); rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized sheet status %d", rec.Code)
+	}
+	// APPROX without a model reports per-statement error frames, not a
+	// request error.
 	rec = postBatch(t, s, BatchRequest{SQL: []string{"SELECT APPROX AVG(u) FROM r1 WITHIN 0.1 OF (0.5, 0.5)"}})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
-	var resp BatchResponse
-	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
-		t.Fatal(err)
+	frames, _ := decodeStream(t, rec)
+	if len(frames) != 1 || frames[0].Error == "" {
+		t.Errorf("expected a per-statement error frame, got %+v", frames)
 	}
-	if len(resp.Results) != 1 || resp.Results[0].Error == "" {
-		t.Errorf("expected a per-item error, got %+v", resp.Results)
+	if !strings.Contains(frames[0].Error, "model") {
+		t.Errorf("error frame %q should name the missing model", frames[0].Error)
 	}
 }
 
 // TestBatchEndpointClientGone verifies an abandoned /query/batch request
-// stops the worker pool: with the request context already cancelled the
-// handler claims no statements and writes no body.
+// stops before the stream starts: with the request context already
+// cancelled the handler claims no statements and writes no body at all.
 func TestBatchEndpointClientGone(t *testing.T) {
 	s := newServer(t, true)
 	sqls := make([]string, 64)
@@ -145,5 +180,9 @@ func TestBatchEndpointClientGone(t *testing.T) {
 	s.ServeHTTP(rec, req)
 	if rec.Body.Len() != 0 {
 		t.Fatalf("cancelled batch wrote %d body bytes, want none", rec.Body.Len())
+	}
+	// The admission weight went back despite the early return.
+	if inflight, _, _ := s.admitQuery.Stats(); inflight != 0 {
+		t.Fatalf("cancelled batch left %d admission weight held", inflight)
 	}
 }

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"llmq/internal/sqlfront"
+)
+
+// approxMean builds a parsed APPROX AVG statement at the given centre, the
+// white-box unit the batcher tests park directly.
+func approxMean(cx, cy float64) *sqlfront.Statement {
+	return &sqlfront.Statement{
+		Kind:   sqlfront.StmtMean,
+		Output: "u",
+		Table:  "r1",
+		Theta:  0.15,
+		Center: []float64{cx, cy},
+		Norm:   2,
+		Approx: true,
+	}
+}
+
+// TestBatcherLoneWaiterWindowExpiry: a single request must not wait past the
+// window — the timer cuts a one-statement sheet — and a run of lone waiters
+// walks the adaptive window down to its floor, so sparse traffic stops
+// paying coalescing latency it gets nothing for.
+func TestBatcherLoneWaiterWindowExpiry(t *testing.T) {
+	s := newServer(t, true, WithLimits(Limits{BatchWindow: time.Millisecond}))
+	b := s.coalescer
+	if b == nil {
+		t.Fatal("BatchWindow > 0 did not arm the coalescer")
+	}
+	for i := 0; i < 10; i++ {
+		rec := postQuery(t, s, "SELECT APPROX AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		var resp QueryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Mean == nil {
+			t.Fatalf("query %d: bad body %s", i, rec.Body.String())
+		}
+	}
+	if got := b.sheets.Load(); got != 10 {
+		t.Errorf("10 sequential queries cut %d sheets, want 10 singletons", got)
+	}
+	if got := b.coalesced.Load(); got != 0 {
+		t.Errorf("sequential queries reported %d coalesced statements", got)
+	}
+	if got := time.Duration(b.window.Load()); got != b.minWindow {
+		t.Errorf("after 10 singleton sheets the window is %v, want the floor %v", got, b.minWindow)
+	}
+	if b.minWindow != time.Millisecond/16 {
+		t.Errorf("minWindow = %v, want maxWindow/16", b.minWindow)
+	}
+}
+
+// TestBatcherOverflowSplit parks more statements than the sheet cap with an
+// effectively infinite window: only the cap can cut, so the flood must split
+// into exact cap-sized sheets, every waiter answered from a sheet of that
+// size, and the window (coalescing traffic) pinned at its configured budget.
+func TestBatcherOverflowSplit(t *testing.T) {
+	s := newServer(t, true, WithLimits(Limits{BatchWindow: time.Hour, BatchMaxSheet: 4}))
+	b := s.coalescer
+	pends := make([]*pendingStmt, 8)
+	for i := range pends {
+		// Distinct centres: this test is about splitting, not collapsing.
+		pends[i] = b.submit(context.Background(), approxMean(0.1+0.1*float64(i), 0.5), false)
+	}
+	for i, p := range pends {
+		out := <-p.done
+		if out.err != nil {
+			t.Fatalf("statement %d: %v", i, out.err)
+		}
+		if out.resp == nil || out.resp.Mean == nil {
+			t.Fatalf("statement %d: empty answer %+v", i, out.resp)
+		}
+		if out.sheet != 4 {
+			t.Errorf("statement %d rode a sheet of %d, want 4", i, out.sheet)
+		}
+	}
+	if got := b.sheets.Load(); got != 2 {
+		t.Errorf("8 statements over cap 4 cut %d sheets, want 2", got)
+	}
+	if got := b.coalesced.Load(); got != 8 {
+		t.Errorf("coalesced = %d, want all 8", got)
+	}
+	if got := b.collapsed.Load(); got != 0 {
+		t.Errorf("distinct statements reported %d collapsed", got)
+	}
+	if got := time.Duration(b.window.Load()); got != time.Hour {
+		t.Errorf("window = %v, want the configured budget after coalescing sheets", got)
+	}
+}
+
+// TestBatcherMemberDeadline cuts a sheet holding one live and one expired
+// statement: the expired one gets its own context error (the handler maps it
+// to 504) while the live one is answered — a deadline inside a coalesced
+// sheet is strictly per-statement.
+func TestBatcherMemberDeadline(t *testing.T) {
+	s := newServer(t, true, WithLimits(Limits{BatchWindow: time.Hour, BatchMaxSheet: 2}))
+	b := s.coalescer
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+	pLive := b.submit(context.Background(), approxMean(0.4, 0.5), false)
+	pDead := b.submit(expired, approxMean(0.6, 0.5), false) // overflow-cuts the sheet
+	outLive, outDead := <-pLive.done, <-pDead.done
+	if outLive.err != nil || outLive.resp == nil || outLive.resp.Mean == nil {
+		t.Fatalf("live statement: (%+v, %v)", outLive.resp, outLive.err)
+	}
+	if !errors.Is(outDead.err, context.DeadlineExceeded) {
+		t.Fatalf("expired statement err = %v, want DeadlineExceeded", outDead.err)
+	}
+	if outDead.resp != nil {
+		t.Fatalf("expired statement still got an answer: %+v", outDead.resp)
+	}
+	if outLive.sheet != 2 || outDead.sheet != 2 {
+		t.Errorf("sheet sizes %d/%d, want 2/2", outLive.sheet, outDead.sheet)
+	}
+}
+
+// TestBatcherQueryDeadlineMapsTo504 is the HTTP face of the same property:
+// with the batcher armed, a /query whose budget is already spent answers 504
+// exactly like the uncoalesced path.
+func TestBatcherQueryDeadlineMapsTo504(t *testing.T) {
+	s := newServer(t, true, WithLimits(Limits{QueryTimeout: time.Nanosecond, BatchWindow: time.Millisecond}))
+	rec := postQuery(t, s, "SELECT APPROX AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestBatcherBrownoutRefusesExactOutsideSheets: during brownout an EXACT
+// statement is refused before it can touch the batcher, and concurrent
+// APPROX statements coalesce and answer normally — a browned-out member
+// never poisons a sheet because it never joins one.
+func TestBatcherBrownoutRefusesExactOutsideSheets(t *testing.T) {
+	s := newServer(t, true, WithLimits(Limits{BatchWindow: 2 * time.Millisecond, BrownoutHold: time.Minute}))
+	s.lastSat.Store(time.Now().UnixNano()) // force the brownout signal
+	const approxN = 6
+	codes := make([]int, approxN)
+	var wg sync.WaitGroup
+	for i := 0; i < approxN; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := postQuery(t, s, "SELECT APPROX AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)")
+			codes[i] = rec.Code
+		}(i)
+	}
+	rec := postQuery(t, s, "SELECT AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)")
+	wg.Wait()
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("browned-out EXACT answered %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("APPROX %d answered %d during brownout, want 200", i, c)
+		}
+	}
+	if got := s.coalescer.sheets.Load(); got == 0 {
+		t.Error("no sheet was ever cut for the APPROX flood")
+	}
+}

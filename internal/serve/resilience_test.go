@@ -178,21 +178,16 @@ func TestDegradeExactAnswersFromModel(t *testing.T) {
 		t.Errorf("degraded mean %v vs exact %v diverge wildly", *resp.Mean, *before.Mean)
 	}
 	// Degradation also reaches the batch path, per statement.
-	body, _ := json.Marshal(BatchRequest{SQL: []string{sql, "SELECT APPROX AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)"}})
-	brec := httptest.NewRecorder()
-	s.ServeHTTP(brec, httptest.NewRequest(http.MethodPost, "/query/batch", bytes.NewReader(body)))
+	brec := postBatch(t, s, BatchRequest{SQL: []string{sql, "SELECT APPROX AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)"}})
 	if brec.Code != http.StatusOK {
 		t.Fatalf("batch under degrade: status %d", brec.Code)
 	}
-	var batch BatchResponse
-	if err := json.Unmarshal(brec.Body.Bytes(), &batch); err != nil {
-		t.Fatal(err)
+	frames, _ := decodeStream(t, brec)
+	if len(frames) != 2 || frames[0].QueryResponse == nil || !frames[0].Degraded {
+		t.Errorf("batch frames %+v, want the EXACT statement degraded", frames)
 	}
-	if len(batch.Results) != 2 || batch.Results[0].QueryResponse == nil || !batch.Results[0].Degraded {
-		t.Errorf("batch results %+v, want the EXACT item degraded", batch.Results)
-	}
-	if batch.Results[1].QueryResponse == nil || batch.Results[1].Degraded {
-		t.Errorf("batch results %+v, want the APPROX item answered un-degraded", batch.Results)
+	if frames[1].QueryResponse == nil || frames[1].Degraded {
+		t.Errorf("batch frames %+v, want the APPROX statement answered un-degraded", frames)
 	}
 }
 
@@ -203,18 +198,13 @@ func TestDegradeExactAnswersFromModel(t *testing.T) {
 func TestBrownoutWithoutModelShedsBatchItems(t *testing.T) {
 	s := newServer(t, false, WithLimits(Limits{DegradeExact: true, BrownoutHold: time.Minute}))
 	s.lastSat.Store(time.Now().UnixNano())
-	body, _ := json.Marshal(BatchRequest{SQL: []string{"SELECT AVG(u) FROM r1 WITHIN 0.1 OF (0.5, 0.5)"}})
-	rec := httptest.NewRecorder()
-	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query/batch", bytes.NewReader(body)))
+	rec := postBatch(t, s, BatchRequest{SQL: []string{"SELECT AVG(u) FROM r1 WITHIN 0.1 OF (0.5, 0.5)"}})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("batch status %d", rec.Code)
 	}
-	var batch BatchResponse
-	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil {
-		t.Fatal(err)
-	}
-	if len(batch.Results) != 1 || !strings.Contains(batch.Results[0].Error, "browned out") {
-		t.Errorf("batch results %+v, want a browned-out item error", batch.Results)
+	frames, _ := decodeStream(t, rec)
+	if len(frames) != 1 || !strings.Contains(frames[0].Error, "browned out") {
+		t.Errorf("batch frames %+v, want a browned-out statement error", frames)
 	}
 }
 

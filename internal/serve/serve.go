@@ -10,9 +10,15 @@
 //	                  → the parsed statement's answer (model-based for APPROX,
 //	                    exact otherwise)
 //	POST /query/batch {"sql": ["...", "..."]}
-//	                  → positional answers, evaluated concurrently over a
-//	                    bounded worker pool (the model is safe for concurrent
-//	                    reads, and the exact executor never mutates the table)
+//	                  → a streaming NDJSON response: one result frame per
+//	                    statement in statement order, each flushed as soon as
+//	                    its prefix of the sheet has been answered, then a
+//	                    trailer frame — statements evaluate concurrently over
+//	                    a bounded worker pool (the model is safe for
+//	                    concurrent reads, and the exact executor never mutates
+//	                    the table), and a client that hangs up mid-stream
+//	                    cancels the rest of the sheet and frees its admission
+//	                    weight immediately (see BatchFrame / ReadBatchStream)
 //	POST /train       {"pairs": [{"center": [0.5, 0.5], "theta": 0.1, "answer": 1.2}]}
 //	                  → ingest training pairs into the served model; with a
 //	                    durable store (serve -data-dir) each pair is WAL-logged
@@ -27,7 +33,12 @@
 // The handler is a plain http.Handler so it can be mounted into any mux.
 // Individual requests already run on separate goroutines under net/http;
 // the batch endpoint additionally parallelizes within one request, so a
-// single analyst submitting a query sheet saturates the cores too.
+// single analyst submitting a query sheet saturates the cores too. With
+// Limits.BatchWindow set, concurrent single /query requests are coalesced
+// the other way around: requests arriving within the (adaptive) window form
+// one sheet over a single pinned model version, and identical statements
+// collapse to one evaluation — the micro-batcher that keeps hot-spot
+// traffic from paying per-request execution (see batcher).
 //
 // # Overload behaviour
 //
@@ -91,6 +102,9 @@ type Server struct {
 	admitQuery *resilience.Semaphore
 	admitTrain *resilience.Semaphore
 	lastSat    atomic.Int64 // unixnano of the last observed queue saturation
+	// coalescer micro-batches single /query statements; nil unless
+	// Limits.BatchWindow is set.
+	coalescer *batcher
 }
 
 // modelNow returns the model serving this request. On a primary it is
@@ -159,6 +173,18 @@ type Limits struct {
 	// queries — the flag exists so an orchestrator can route staleness-
 	// sensitive traffic away). Default 4096; negative disables the check.
 	MaxReplicationLag int
+	// BatchWindow micro-batches the single-statement /query path:
+	// concurrent requests arriving within the window — after each passed
+	// its own brownout check and admission — coalesce into one sheet
+	// executed over a single pinned model version, with identical
+	// statements collapsed to one evaluation. The window adapts downward
+	// (to BatchWindow/16) while arrivals are sparse. 0, the default,
+	// disables coalescing; 0.5–2ms is the intended range.
+	BatchWindow time.Duration
+	// BatchMaxSheet caps one coalesced sheet's statement count; a full
+	// sheet is cut immediately instead of waiting the window out. Default
+	// 64 when BatchWindow is set.
+	BatchMaxSheet int
 }
 
 // DefaultLimits returns the limits a Server runs with when none are given.
@@ -195,6 +221,17 @@ func (l Limits) withDefaults() Limits {
 	case l.MaxReplicationLag < 0:
 		l.MaxReplicationLag = math.MaxInt
 	}
+	if l.BatchWindow < 0 {
+		l.BatchWindow = 0
+	}
+	if l.BatchWindow > 0 {
+		if l.BatchMaxSheet <= 0 {
+			l.BatchMaxSheet = 64
+		}
+		if l.BatchMaxSheet > maxBatchStatements {
+			l.BatchMaxSheet = maxBatchStatements
+		}
+	}
 	return l
 }
 
@@ -222,6 +259,9 @@ func New(e *exec.Executor, m *core.Model, opts ...Option) (*Server, error) {
 	}
 	s.admitQuery = resilience.NewSemaphore(int64(s.limits.QueryConcurrency), s.limits.AdmitWait)
 	s.admitTrain = resilience.NewSemaphore(int64(s.limits.TrainConcurrency), s.limits.AdmitWait)
+	if s.limits.BatchWindow > 0 {
+		s.coalescer = newBatcher(s)
+	}
 	s.mux.Handle("/query", resilience.WithTimeout(http.HandlerFunc(s.handleQuery), s.limits.QueryTimeout))
 	s.mux.Handle("/query/batch", resilience.WithTimeout(http.HandlerFunc(s.handleBatch), s.limits.QueryTimeout))
 	s.mux.HandleFunc("/train", s.handleTrain)
@@ -308,6 +348,13 @@ type QueryResponse struct {
 	Value  *float64         `json:"value,omitempty"`
 	Models []LocalModelJSON `json:"models,omitempty"`
 	Tuples int              `json:"tuples,omitempty"`
+	// FVU and R2 are the in-subspace goodness-of-fit metrics of an exact
+	// Q2 (REGRESSION / VALUE) execution — the fraction of variance
+	// unexplained and the coefficient of determination — so remote clients
+	// see the same fit diagnostics the local CLI prints. Absent on APPROX
+	// answers (the model has no per-query residuals to report).
+	FVU *float64 `json:"fvu,omitempty"`
+	R2  *float64 `json:"r2,omitempty"`
 	// Degraded marks an EXACT-eligible statement that was answered from
 	// the model because the server was in brownout (Limits.DegradeExact).
 	Degraded bool   `json:"degraded,omitempty"`
@@ -579,7 +626,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.admitQuery.Release(1)
-	resp, err := s.answer(r.Context(), stmt, s.readerFor(r), degraded)
+	// With the micro-batcher armed, the admitted statement joins the open
+	// coalescing sheet instead of executing alone — the shed/brownout
+	// decisions above already happened per-request, so only work the server
+	// agreed to do ever reaches a sheet.
+	var resp *QueryResponse
+	if s.coalescer != nil {
+		resp, err = s.coalescer.do(r.Context(), stmt, degraded)
+	} else {
+		resp, err = s.answer(r.Context(), stmt, s.readerFor(r), degraded)
+	}
 	if err != nil {
 		s.writeAnswerError(w, r, err)
 		return
@@ -749,21 +805,6 @@ type BatchRequest struct {
 	SQL []string `json:"sql"`
 }
 
-// BatchItem is one positional result of a batch: either the statement's
-// answer or its error string.
-type BatchItem struct {
-	*QueryResponse
-	Error string `json:"error,omitempty"`
-}
-
-// BatchResponse is the body returned by POST /query/batch.
-type BatchResponse struct {
-	Results []BatchItem `json:"results"`
-	// Elapsed is the wall-clock time of the whole batch; with the bounded
-	// worker pool it approaches (slowest statement) + (total work / cores).
-	Elapsed string `json:"elapsed"`
-}
-
 // batchWeight is what a sheet of n statements costs against the query
 // admission class: its statement count, clamped to half the capacity so
 // one maximal sheet leaves room for single statements (two can still fill
@@ -779,6 +820,33 @@ func (s *Server) batchWeight(n int) int64 {
 	return half
 }
 
+// pinnedReader returns a prediction surface pinned for one whole sheet: a
+// single published model version (core.View), so the answers are mutually
+// consistent even while a training stream or a zero-downtime model swap
+// publishes newer versions mid-sheet. A sharded front-end pins the routing
+// epoch instead — every statement of the sheet routes through the same
+// partition and backend set even across a concurrent shard split or merge
+// (per-shard versions still advance between statements). Nil when there is
+// no model; EXACT statements never touch the reader.
+func (s *Server) pinnedReader(ctx context.Context) modelReader {
+	if s.sharded != nil {
+		return s.sharded.Reader(ctx)
+	}
+	if m := s.modelNow(); m != nil {
+		return m.View()
+	}
+	return nil
+}
+
+// handleBatch streams a statement sheet's answers as NDJSON: admission and
+// validation first (refusals are plain status-coded JSON — nothing has
+// streamed yet), then a 200 whose body is one result frame per statement
+// in statement order, each flushed as its prefix completes, and a trailer.
+// Two failure paths matter: a statement the pool never reached (deadline,
+// shutdown) still gets a per-statement error frame, and a client that
+// stops reading cancels the rest of the sheet AND releases the sheet's
+// admission weight immediately — an abandoned stream must not hold
+// capacity for work that no longer has an audience.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
@@ -798,65 +866,99 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch has %d statements, limit is %d", len(req.SQL), maxBatchStatements))
 		return
 	}
-	weight := s.batchWeight(len(req.SQL))
-	if err := s.admitQuery.Acquire(r.Context(), weight); err != nil {
+	ticket, err := s.admitQuery.AcquireTicket(r.Context(), s.batchWeight(len(req.SQL)))
+	if err != nil {
 		s.shedQuery(w, r, err)
 		return
 	}
-	defer s.admitQuery.Release(weight)
+	// Released exactly once: here on the normal path, or early below when
+	// the client goes away mid-stream (Ticket.Release is idempotent).
+	defer ticket.Release()
+	if r.Context().Err() != nil {
+		// The client was already gone before a byte streamed; write nothing.
+		return
+	}
 	// The brownout decision is taken once per sheet, at admission: every
 	// EXACT statement of the sheet is then either degraded or refused
 	// per-item, while the APPROX statements always run.
 	brown := s.brownout()
 	degradable := s.degradable()
 	start := time.Now()
-	// Pin one model version for the whole batch: the answers are mutually
-	// consistent even while a training stream or a zero-downtime model swap
-	// publishes newer versions mid-request. A sharded reader pins the
-	// routing epoch instead — every statement of the sheet routes through
-	// the same partition and backend set even across a concurrent shard
-	// split or merge (per-shard versions still advance between statements).
-	var reader modelReader
-	if s.sharded != nil {
-		reader = s.sharded.Reader(r.Context())
-	} else if m := s.modelNow(); m != nil {
-		reader = m.View()
+	n := len(req.SQL)
+	// ctx cancels with the request (disconnect, deadline, shutdown) and on
+	// the first write error, so a dead stream stops claiming statements.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	reader := s.pinnedReader(ctx)
+	frames := make([]BatchFrame, n)
+	ran := make([]bool, n)
+	completed := make(chan int, n) // buffered: the pool never blocks on a slow writer
+	var poolErr error
+	go func() {
+		defer close(completed)
+		poolErr = exec.ForEachParallelStream(ctx, n, func(i int) {
+			frames[i] = s.batchFrame(ctx, i, req.SQL[i], reader, brown, degradable)
+			ran[i] = true
+		}, completed)
+	}()
+	w.Header().Set("Content-Type", NDJSONContentType)
+	w.WriteHeader(http.StatusOK)
+	clientGone := func() {
+		cancel()
+		ticket.Release()
+		for range completed {
+		} // let the pool goroutine finish and exit
 	}
-	items := make([]BatchItem, len(req.SQL))
-	// The request context cancels when the client disconnects, the server
-	// shuts down or the deadline passes: the pool stops claiming statements
-	// mid-sheet instead of finishing a batch nobody will read.
-	if err := exec.ForEachParallelCtx(r.Context(), len(req.SQL), func(i int) {
-		stmt, _, err := s.parseStatement(req.SQL[i])
-		if err != nil {
-			items[i] = BatchItem{Error: err.Error()}
-			return
-		}
-		degraded := false
-		if !stmt.Approx && brown {
-			if !degradable {
-				items[i] = BatchItem{Error: "overloaded: exact statements are browned out, retry later or use APPROX"}
-				return
-			}
-			degraded = true
-		}
-		resp, err := s.answer(r.Context(), stmt, reader, degraded)
-		if err != nil {
-			items[i] = BatchItem{Error: err.Error()}
-			return
-		}
-		items[i] = BatchItem{QueryResponse: resp}
-	}); err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
-			writeError(w, http.StatusGatewayTimeout, errors.New("batch deadline exceeded"))
-		}
-		// Otherwise the client is gone; there is nobody to write a body to.
+	wrote, werr := streamFrames(w, n, completed, func(i int) BatchFrame { return frames[i] })
+	if werr != nil {
+		clientGone()
 		return
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{
-		Results: items,
-		Elapsed: time.Since(start).String(),
-	})
+	// The pool is done (completed is closed). Statements it never claimed —
+	// the sheet's deadline or the server's shutdown got there first — still
+	// owe their positional frame.
+	enc := json.NewEncoder(w)
+	for ; wrote < n; wrote++ {
+		f := frames[wrote]
+		if !ran[wrote] {
+			msg := "statement not executed"
+			switch {
+			case errors.Is(poolErr, context.DeadlineExceeded):
+				msg = "query deadline exceeded"
+			case poolErr != nil:
+				msg = poolErr.Error()
+			}
+			f = errorFrame(wrote, msg)
+		}
+		if err := enc.Encode(f); err != nil {
+			clientGone()
+			return
+		}
+	}
+	if err := enc.Encode(BatchFrame{Done: true, Results: n, TotalElapsed: time.Since(start).String()}); err != nil {
+		clientGone()
+	}
+}
+
+// batchFrame evaluates one statement of a sheet into its result frame,
+// applying the sheet's brownout decision per statement.
+func (s *Server) batchFrame(ctx context.Context, i int, sql string, reader modelReader, brown, degradable bool) BatchFrame {
+	stmt, _, err := s.parseStatement(sql)
+	if err != nil {
+		return errorFrame(i, err.Error())
+	}
+	degraded := false
+	if !stmt.Approx && brown {
+		if !degradable {
+			return errorFrame(i, "overloaded: exact statements are browned out, retry later or use APPROX")
+		}
+		degraded = true
+	}
+	resp, err := s.answer(ctx, stmt, reader, degraded)
+	if err != nil {
+		return errorFrame(i, err.Error())
+	}
+	return resultFrame(i, resp)
 }
 
 // answer evaluates one parsed statement. EXACT statements run through the
@@ -929,6 +1031,7 @@ func (s *Server) answer(ctx context.Context, stmt *sqlfront.Statement, model mod
 			Weight:    1,
 		}}
 		resp.Tuples = res.Count
+		resp.FVU, resp.R2 = &res.FVU, &res.CoD
 		return finish(), nil
 
 	case sqlfront.StmtValue:
@@ -954,6 +1057,7 @@ func (s *Server) answer(ctx context.Context, stmt *sqlfront.Statement, model mod
 		u := res.Predict(stmt.At)
 		resp.Value = &u
 		resp.Tuples = res.Count
+		resp.FVU, resp.R2 = &res.FVU, &res.CoD
 		return finish(), nil
 	}
 	return nil, fmt.Errorf("unsupported statement kind %v", stmt.Kind)

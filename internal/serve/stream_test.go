@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordingWriter is a ResponseWriter that logs the write/flush interleaving
+// and can start failing after a fixed number of successful writes — a
+// deterministic stand-in for a client that disconnected mid-stream.
+type recordingWriter struct {
+	header http.Header
+	events []string
+	buf    bytes.Buffer
+	// failAfter is how many writes succeed before every further write
+	// errors; negative means never fail.
+	failAfter int
+	writes    int
+}
+
+func (w *recordingWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+
+func (w *recordingWriter) WriteHeader(int) {}
+
+func (w *recordingWriter) Write(p []byte) (int, error) {
+	if w.failAfter >= 0 && w.writes >= w.failAfter {
+		return 0, errors.New("broken pipe")
+	}
+	w.writes++
+	w.events = append(w.events, "write")
+	return w.buf.Write(p)
+}
+
+func (w *recordingWriter) Flush() { w.events = append(w.events, "flush") }
+
+// TestStreamFramesOrderAndFlush feeds completions out of order (2, 0, 1)
+// and checks the wire carries frames strictly in statement order, each
+// followed by its own flush: frame 2's completion alone must not put
+// anything on the wire, and frame 1's completion releases both 1 and 2.
+func TestStreamFramesOrderAndFlush(t *testing.T) {
+	w := &recordingWriter{failAfter: -1}
+	completed := make(chan int)
+	go func() {
+		completed <- 2
+		completed <- 0
+		completed <- 1
+		close(completed)
+	}()
+	wrote, err := streamFrames(w, 3, completed, func(i int) BatchFrame {
+		return errorFrame(i, fmt.Sprintf("e%d", i))
+	})
+	if err != nil || wrote != 3 {
+		t.Fatalf("streamFrames = (%d, %v), want (3, nil)", wrote, err)
+	}
+	want := []string{"write", "flush", "write", "flush", "write", "flush"}
+	if fmt.Sprint(w.events) != fmt.Sprint(want) {
+		t.Errorf("event interleaving %v, want %v (one flush per frame)", w.events, want)
+	}
+	sc := bufio.NewScanner(&w.buf)
+	for i := 0; sc.Scan(); i++ {
+		f, err := ParseBatchFrame(sc.Bytes())
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if f.Done || *f.Index != i || f.Error != fmt.Sprintf("e%d", i) {
+			t.Fatalf("line %d carries frame %+v", i, f)
+		}
+	}
+}
+
+// TestStreamFramesStopsOnWriteError checks the backpressure half of the
+// contract: the first failed write ends the stream with exactly the
+// contiguous prefix on the wire, and the reported count matches it.
+func TestStreamFramesStopsOnWriteError(t *testing.T) {
+	w := &recordingWriter{failAfter: 1}
+	completed := make(chan int, 3)
+	completed <- 0
+	completed <- 1
+	completed <- 2
+	close(completed)
+	wrote, err := streamFrames(w, 3, completed, func(i int) BatchFrame { return errorFrame(i, "x") })
+	if err == nil {
+		t.Fatal("write error was swallowed")
+	}
+	if wrote != 1 {
+		t.Fatalf("wrote = %d, want 1 (the contiguous prefix that made it out)", wrote)
+	}
+}
+
+func TestReadBatchStreamContract(t *testing.T) {
+	result0 := `{"index":0,"error":"boom"}`
+	result1 := `{"index":1,"kind":"AVG","approx":true,"mean":1.5,"elapsed":"1ms"}`
+	trailer := `{"done":true,"results":2,"total_elapsed":"2ms"}`
+	join := func(lines ...string) io.Reader {
+		return strings.NewReader(strings.Join(lines, "\n") + "\n")
+	}
+
+	t.Run("happy path with blank lines", func(t *testing.T) {
+		var visited []int
+		tr, err := ReadBatchStream(join(result0, "", result1, trailer), func(f BatchFrame) error {
+			visited = append(visited, *f.Index)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Results != 2 || tr.TotalElapsed != "2ms" {
+			t.Errorf("trailer %+v", tr)
+		}
+		if fmt.Sprint(visited) != "[0 1]" {
+			t.Errorf("visited %v", visited)
+		}
+	})
+	t.Run("truncated stream", func(t *testing.T) {
+		if _, err := ReadBatchStream(join(result0, result1), nil); err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("out of order", func(t *testing.T) {
+		if _, err := ReadBatchStream(join(result1, result0, trailer), nil); err == nil {
+			t.Error("index 1 before 0 accepted")
+		}
+	})
+	t.Run("trailer count mismatch", func(t *testing.T) {
+		if _, err := ReadBatchStream(join(result0, trailer), nil); err == nil {
+			t.Error("trailer claiming 2 results over a 1-frame stream accepted")
+		}
+	})
+	t.Run("junk after trailer", func(t *testing.T) {
+		if _, err := ReadBatchStream(join(result0, result1, trailer, result0), nil); err == nil {
+			t.Error("frame after the trailer accepted")
+		}
+	})
+	t.Run("visit error propagates", func(t *testing.T) {
+		boom := errors.New("stop")
+		if _, err := ReadBatchStream(join(result0, result1, trailer), func(BatchFrame) error { return boom }); !errors.Is(err, boom) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestParseBatchFrameRejectsMalformedShapes(t *testing.T) {
+	for _, bad := range []string{
+		`not json`,
+		`{}`,                                 // neither result nor trailer
+		`{"index":0}`,                        // result with neither answer nor error
+		`{"index":-1,"error":"x"}`,           // negative index
+		`{"index":0,"done":true,"mean":1}`,   // both result and trailer
+		`{"index":0,"error":"x","mean":1.5}`, // both an answer and an error
+		`{"done":true,"results":-3}`,         // negative trailer count
+	} {
+		if _, err := ParseBatchFrame([]byte(bad)); err == nil {
+			t.Errorf("ParseBatchFrame(%s) accepted", bad)
+		}
+	}
+}
+
+// FuzzParseBatchFrame fuzzes the client-side frame parser: any input either
+// errors or yields a frame that survives a marshal/parse round trip intact —
+// the parser must never panic and never accept a frame it would not
+// re-accept from its own encoding.
+func FuzzParseBatchFrame(f *testing.F) {
+	f.Add([]byte(`{"index":0,"error":"boom"}`))
+	f.Add([]byte(`{"index":3,"kind":"AVG","approx":true,"mean":0.25,"elapsed":"1ms"}`))
+	f.Add([]byte(`{"index":1,"kind":"REGRESSION","models":[{"intercept":1,"slope":[2],"center":[0.5],"theta":0.1,"weight":1}],"fvu":0.1,"r2":0.9,"elapsed":"2ms"}`))
+	f.Add([]byte(`{"done":true,"results":7,"total_elapsed":"3ms"}`))
+	f.Add([]byte(`{"index":-1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		fr, err := ParseBatchFrame(line)
+		if err != nil {
+			return
+		}
+		b, err := json.Marshal(fr)
+		if err != nil {
+			t.Fatalf("accepted frame failed to marshal: %v", err)
+		}
+		fr2, err := ParseBatchFrame(b)
+		if err != nil {
+			t.Fatalf("round trip rejected %s: %v", b, err)
+		}
+		if (fr.Index == nil) != (fr2.Index == nil) || (fr.Index != nil && *fr.Index != *fr2.Index) ||
+			fr.Done != fr2.Done || fr.Error != fr2.Error || fr.Results != fr2.Results ||
+			fr.TotalElapsed != fr2.TotalElapsed {
+			t.Fatalf("round trip changed the frame: %+v vs %+v", fr, fr2)
+		}
+	})
+}
+
+// TestBatchStreamOverHTTP runs the full stack over a real connection: a
+// mixed sheet streams back as NDJSON that the shared client-side reader
+// accepts, in order, with the trailer accounting for every frame.
+func TestBatchStreamOverHTTP(t *testing.T) {
+	s := newServer(t, true)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	sheet := BatchRequest{SQL: []string{
+		"SELECT APPROX AVG(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)",
+		"SELECT AVG(u) FROM r1 WITHIN 0.15 OF (0.3, 0.7)",
+		"garbage",
+		"SELECT REGRESSION(u) FROM r1 WITHIN 0.15 OF (0.5, 0.5)",
+	}}
+	body, err := json.Marshal(sheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/query/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != NDJSONContentType {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	n := 0
+	trailer, err := ReadBatchStream(resp.Body, func(f BatchFrame) error {
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || trailer.Results != 4 {
+		t.Fatalf("got %d frames, trailer claims %d, want 4", n, trailer.Results)
+	}
+}
+
+// TestBatchDisconnectMidStream simulates a client that stops reading after
+// a few frames: the handler must (a) have put only well-formed, in-order
+// frames on the wire, (b) release the sheet's admission weight immediately
+// rather than when the sheet would have finished, and (c) leave no pool
+// goroutines behind.
+func TestBatchDisconnectMidStream(t *testing.T) {
+	s := newServer(t, true, WithLimits(Limits{QueryConcurrency: 8}))
+	sqls := make([]string, 256)
+	for i := range sqls {
+		sqls[i] = "SELECT AVG(u) FROM r1 WITHIN 0.45 OF (0.5, 0.5)"
+	}
+	body, err := json.Marshal(BatchRequest{SQL: sqls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	w := &recordingWriter{failAfter: 4}
+	req := httptest.NewRequest(http.MethodPost, "/query/batch", bytes.NewReader(body))
+	s.ServeHTTP(w, req) // returns only after the pool goroutine exited
+	// (a) the partial stream is well-formed: a contiguous, parseable prefix.
+	sc := bufio.NewScanner(&w.buf)
+	i := 0
+	for ; sc.Scan(); i++ {
+		f, err := ParseBatchFrame(sc.Bytes())
+		if err != nil {
+			t.Fatalf("frame %d on the wire is malformed: %v", i, err)
+		}
+		if f.Done || *f.Index != i {
+			t.Fatalf("frame %d out of order: %+v", i, f)
+		}
+	}
+	if i != 4 {
+		t.Fatalf("%d frames made it out before the broken pipe, want 4", i)
+	}
+	// (b) the weight came back through the early release, not a trailer.
+	if inflight, _, _ := s.admitQuery.Stats(); inflight != 0 {
+		t.Fatalf("disconnected batch still holds %d admission weight", inflight)
+	}
+	// (c) no pool workers or streaming goroutines leaked.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after disconnect", base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

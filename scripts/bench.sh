@@ -136,6 +136,15 @@ go test -run '^$' -bench 'BenchmarkPredictBatch|BenchmarkServeThroughput' \
 # where ns/op is the admitted service time.
 go test -run '^$' -bench 'BenchmarkServeOverload' \
     -benchtime "${SERVE_BENCHTIME:-100x}" . >>"$tmp"
+# Micro-batcher: closed-loop hot-statement coalescing (batch=off vs
+# batch=on), plus the open-loop headline — arrivals at 2x the probed
+# unbatched capacity, where batching must move shed/req toward 0 and keep
+# p99 near window + one evaluation. The p50-ns/p99-ns/shed-per-req metrics
+# these benchmarks report are recorded alongside ns/op (see the generator
+# below), so BENCH_<n>.json carries the latency/shed numbers, not just
+# throughput.
+go test -run '^$' -bench 'BenchmarkServeBatching' \
+    -benchtime "${BATCHING_BENCHTIME:-100x}" . >>"$tmp"
 # Replication: ns/op of the lag benchmark is the per-pair ship+apply cost
 # through the WAL long-poll (train on the primary → chunk over HTTP → mirror
 # append → live apply on the follower); the bootstrap benchmark is the cold
@@ -169,11 +178,23 @@ BEGIN {
     # container vs a multi-core CI runner) join by name in compare — without
     # this the --fail-over gate would silently compare nothing.
     sub(/-[0-9]+$/, "", name)
+    # Collect every "value unit" pair on the line: ns/op becomes the leading
+    # ns_per_op field (compare joins on it), and any further metric a
+    # benchmark reported via ReportMetric (p99-ns, shed/req, B/op, ...) is
+    # recorded next to it with the unit sanitized into a JSON key. compare
+    # keys off ns_per_op only, so extra fields never break the gate.
+    ns = ""; extra = ""
     for (i = 2; i <= NF - 1; i++) {
-        if ($(i + 1) == "ns/op") {
-            if (n++) printf ",\n"
-            printf "    {\"name\": \"%s\", \"ns_per_op\": %s}", name, $i
-        }
+        unit = $(i + 1)
+        if ($i !~ /^[0-9.eE+-]+$/ || unit !~ /^[a-zA-Z]/) continue
+        if (unit == "ns/op") { ns = $i; continue }
+        key = unit
+        gsub(/[^a-zA-Z0-9_]/, "_", key)
+        extra = extra sprintf(", \"%s\": %s", key, $i)
+    }
+    if (ns != "") {
+        if (n++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s%s}", name, ns, extra
     }
 }
 END { print ""; print "  ]"; print "}" }
